@@ -1,0 +1,362 @@
+package twodcache
+
+// One benchmark per paper table/figure (the regeneration harness), plus
+// micro-benchmarks for the core data-path operations. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Fig. 5/6 benches run reduced cycle counts per iteration; use
+// cmd/repro -full for paper-scale sampling.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"twodcache/internal/ecc"
+	"twodcache/internal/experiments"
+	"twodcache/internal/fault"
+	"twodcache/internal/redundancy"
+	"twodcache/internal/sim"
+	"twodcache/internal/twod"
+	"twodcache/internal/workload"
+	"twodcache/internal/yield"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Samples: 1, Warmup: 10000, Measure: 10000, Trials: 2, Seed: 1}
+}
+
+// --- per-figure regeneration benches ------------------------------------
+
+func BenchmarkFig1_CodeStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig1b().Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig1_CodeEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig1c().Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig2_Interleaving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig2()) != 2 {
+			b.Fatal("bad tables")
+		}
+	}
+}
+
+func BenchmarkFig3_Coverage(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig3(opt).Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable1_Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().Render() == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig5_IPCLoss_Fat(b *testing.B) {
+	opt := benchOpts()
+	prof, _ := workload.ByName("OLTP")
+	for i := 0; i < b.N; i++ {
+		rep, err := sim.PerformanceLoss(sim.FatConfig(),
+			sim.Protection{L1TwoD: true, L2TwoD: true, PortStealing: true},
+			prof, opt.Samples, opt.Warmup, opt.Measure)
+		if err != nil || rep.Samples == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_IPCLoss_Lean(b *testing.B) {
+	opt := benchOpts()
+	prof, _ := workload.ByName("OLTP")
+	for i := 0; i < b.N; i++ {
+		rep, err := sim.PerformanceLoss(sim.LeanConfig(),
+			sim.Protection{L1TwoD: true, L2TwoD: true, PortStealing: true},
+			prof, opt.Samples, opt.Warmup, opt.Measure)
+		if err != nil || rep.Samples == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_AccessBreakdown(b *testing.B) {
+	opt := benchOpts()
+	prof, _ := workload.ByName("Web")
+	for i := 0; i < b.N; i++ {
+		_, l2, err := sim.AccessBreakdown(sim.LeanConfig(),
+			sim.Protection{L1TwoD: true, L2TwoD: true, PortStealing: true},
+			prof, 1, opt.Warmup, opt.Measure)
+		if err != nil || l2[4] <= 0 {
+			b.Fatal("no extra reads")
+		}
+	}
+}
+
+func BenchmarkFig7_Overheads(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig7(false, opt).Rows) == 0 ||
+			len(experiments.Fig7(true, opt).Rows) == 0 {
+			b.Fatal("bad tables")
+		}
+	}
+}
+
+func BenchmarkFig8_Yield(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig8a().Rows) != 11 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig8_Reliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig8b().Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- core data-path micro-benches ----------------------------------------
+
+func paperArray() *twod.Array {
+	return twod.MustArray(twod.Config{
+		Rows: 256, WordsPerRow: 4,
+		Horizontal: ecc.MustEDC(64, 8), VerticalGroups: 32,
+	})
+}
+
+func BenchmarkArrayWrite(b *testing.B) {
+	a := paperArray()
+	d := WordFromUint64(0xDEADBEEF, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Write(i%256, i%4, d)
+	}
+}
+
+func BenchmarkArrayReadClean(b *testing.B) {
+	a := paperArray()
+	d := WordFromUint64(0xDEADBEEF, 64)
+	for r := 0; r < 256; r++ {
+		for w := 0; w < 4; w++ {
+			a.Write(r, w, d)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st := a.Read(i%256, i%4); st != twod.ReadClean {
+			b.Fatal("unexpected status")
+		}
+	}
+}
+
+func BenchmarkRecovery32x32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := paperArray()
+		for r := 0; r < 32; r++ {
+			for c := 0; c < 32; c++ {
+				if rng.Intn(2) == 1 {
+					a.FlipBit(64+r, 64+c)
+				}
+			}
+		}
+		b.StartTimer()
+		if rep := a.Recover(); !rep.Success {
+			b.Fatal("recovery failed")
+		}
+	}
+}
+
+func BenchmarkEDC8Syndrome(b *testing.B) {
+	e := ecc.MustEDC(64, 8)
+	cw := e.Encode(WordFromUint64(0x123456789ABCDEF0, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.SyndromeBits(cw) != 0 {
+			b.Fatal("dirty syndrome")
+		}
+	}
+}
+
+func BenchmarkSECDEDDecode(b *testing.B) {
+	s := ecc.MustSECDED(64)
+	clean := s.Encode(WordFromUint64(0x123456789ABCDEF0, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := clean.Clone()
+		cw.Flip(i % 72)
+		if res, _ := s.Decode(cw); res != ecc.Corrected {
+			b.Fatal("not corrected")
+		}
+	}
+}
+
+func BenchmarkOECNEDDecode8Errors(b *testing.B) {
+	c, err := ecc.NewOECNED(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean := c.Encode(WordFromUint64(0x123456789ABCDEF0, 64))
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cw := clean.Clone()
+		for _, p := range rng.Perm(cw.Len())[:8] {
+			cw.Flip(p)
+		}
+		b.StartTimer()
+		if res, _ := c.Decode(cw); res != ecc.Corrected {
+			b.Fatal("not corrected")
+		}
+	}
+}
+
+func BenchmarkSimCycle_Fat(b *testing.B) {
+	prof, _ := workload.ByName("OLTP")
+	s, err := sim.New(sim.FatConfig(),
+		sim.Protection{L1TwoD: true, L2TwoD: true, PortStealing: true}, prof, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkYieldCurve(b *testing.B) {
+	g := yield.Geometry16MBL2()
+	pol := yield.Policy{ECC: true, SpareRows: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if yield.Yield(g, 2400, pol) < 0.5 {
+			b.Fatal("unexpected yield")
+		}
+	}
+}
+
+func BenchmarkCoverageCampaign(b *testing.B) {
+	s := fault.TwoDScheme{Cfg: twod.Config{
+		Rows: 64, WordsPerRow: 2,
+		Horizontal: ecc.MustEDC(64, 8), VerticalGroups: 16,
+	}}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := fault.CoverageMatrix(s, rng, []int{8}, []int{8}, 1)
+		if cells[0].Rate() != 1 {
+			b.Fatal("coverage hole")
+		}
+	}
+}
+
+// --- substrate micro-benches (added subsystems) ---------------------------
+
+func BenchmarkMarchCMinus64x576(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		arr := MustBenchFaultyArray(64, 576)
+		b.StartTimer()
+		if !RunMarch(arr, MarchCMinus()).Passed() {
+			b.Fatal("clean array failed")
+		}
+	}
+}
+
+func BenchmarkSelfRepair(b *testing.B) {
+	cfg := RepairConfig{Rows: 64, Cols: 576, SpareRows: 2, WordBits: 72, ECCSingleBit: true}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		arr := MustBenchFaultyArray(64, 576)
+		_ = arr.Inject(CellFault{Row: 7, Col: 70, Kind: StuckAt1})
+		_ = arr.Inject(CellFault{Row: 30, Col: 300, Kind: StuckAt0})
+		b.StartTimer()
+		out, err := SelfRepair(arr, cfg, MarchCMinus())
+		if err != nil || !out.Repaired {
+			b.Fatalf("repair failed: %v %+v", err, out)
+		}
+	}
+}
+
+func BenchmarkTraceRecordReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := RecordTrace(&buf, "OLTP", 0, 0, 1, 10000); err != nil {
+			b.Fatal(err)
+		}
+		src, err := ReplayTrace(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10000; j++ {
+			src.Next()
+		}
+	}
+}
+
+func BenchmarkRepairAllocation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := RepairConfig{Rows: 512, Cols: 1152, SpareRows: 8, SpareCols: 8, WordBits: 72, ECCSingleBit: true}
+	var faults []redundancy.Fault
+	for i := 0; i < 60; i++ {
+		faults = append(faults, redundancy.Fault{Row: rng.Intn(512), Col: rng.Intn(1152)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllocateRepairs(cfg, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MustBenchFaultyArray builds a defect-injectable array or fails the
+// benchmark setup.
+func MustBenchFaultyArray(rows, cols int) *FaultyArray {
+	a, err := NewFaultyArray(rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func BenchmarkProtectedCacheAccess(b *testing.B) {
+	backing := NewMemoryBacking(64)
+	c, err := NewProtectedCache(ProtectedCacheConfig{Sets: 64, Ways: 4, LineBytes: 64}, backing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(rng.Intn(1 << 15))
+		if i%3 == 0 {
+			if err := c.Write(addr, []byte{byte(i)}); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := c.Read(addr, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

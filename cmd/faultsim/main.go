@@ -1,0 +1,85 @@
+// Command faultsim runs fault-injection campaigns against the
+// protection schemes of Fig. 3 and prints a correction-coverage matrix
+// per scheme over clustered error footprints.
+//
+// Usage:
+//
+//	faultsim [-trials N] [-seed S] [-sizes 1,2,4,8,16,32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"twodcache/internal/ecc"
+	"twodcache/internal/fault"
+	"twodcache/internal/twod"
+)
+
+func main() {
+	trials := flag.Int("trials", 10, "injection trials per footprint")
+	seed := flag.Int64("seed", 1, "random seed")
+	sizesArg := flag.String("sizes", "1,2,4,8,16,32", "comma-separated cluster edge sizes")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	oec, err := ecc.NewOECNED(64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
+	}
+	schemes := []fault.Scheme{
+		fault.ConventionalScheme{Rows: 256, WordsPerRow: 4, Code: ecc.MustSECDED(64)},
+		fault.ConventionalScheme{Rows: 256, WordsPerRow: 4, Code: oec},
+		fault.TwoDScheme{Cfg: twod.Config{
+			Rows: 256, WordsPerRow: 4,
+			Horizontal: ecc.MustEDC(64, 8), VerticalGroups: 32,
+		}},
+		fault.TwoDScheme{Cfg: twod.Config{
+			Rows: 256, WordsPerRow: 4,
+			Horizontal: ecc.MustSECDED(64), VerticalGroups: 32,
+		}},
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	for _, s := range schemes {
+		fmt.Printf("%s (storage overhead %.1f%%)\n", s.Name(), s.StorageOverhead()*100)
+		fmt.Printf("  %8s", "HxW")
+		for _, w := range sizes {
+			fmt.Printf(" %6d", w)
+		}
+		fmt.Println()
+		cells := fault.CoverageMatrix(s, rng, sizes, sizes, *trials)
+		i := 0
+		for _, h := range sizes {
+			fmt.Printf("  %8d", h)
+			for range sizes {
+				fmt.Printf(" %5.0f%%", cells[i].Rate()*100)
+				i++
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro [-full] [-list] [experiment-id ...]
+//
+// With no ids, every experiment runs in paper order. -full sizes the
+// simulation-backed experiments at paper scale (minutes); the default
+// quick sizing finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"twodcache"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale sampling (slower)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	chart := flag.Bool("chart", false, "render numeric columns as bar charts")
+	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, id := range twodcache.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := twodcache.QuickOptions()
+	if *full {
+		opt = twodcache.FullOptions()
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = twodcache.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tabs, err := twodcache.Experiment(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		var file strings.Builder
+		for _, t := range tabs {
+			fmt.Println(t.Render())
+			file.WriteString(t.Render())
+			file.WriteByte('\n')
+			if *chart {
+				if c := t.Charts(48); c != "" {
+					fmt.Println(c)
+				}
+			}
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(file.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,79 @@
+// Command tracegen records synthetic workload traces to files and
+// inspects existing recordings.
+//
+// Usage:
+//
+//	tracegen -workload OLTP -n 1000000 -o oltp.trc [-core 0 -thread 0 -seed 1]
+//	tracegen -inspect oltp.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twodcache/internal/trace"
+	"twodcache/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("workload", "OLTP", "workload profile to record")
+	n := flag.Int("n", 1_000_000, "instructions to record")
+	out := flag.String("o", "", "output trace file")
+	core := flag.Int("core", 0, "core id (address-space placement)")
+	thread := flag.Int("thread", 0, "thread id")
+	seed := flag.Int64("seed", 1, "generator seed")
+	inspect := flag.String("inspect", "", "summarise an existing trace and exit")
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		s, err := trace.Summarize(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("instructions: %d\n", s.Instructions)
+		fmt.Printf("loads:        %d\n", s.Loads)
+		fmt.Printf("stores:       %d\n", s.Stores)
+		fmt.Printf("mem fraction: %.3f\n", s.MemFrac())
+		fmt.Printf("store frac:   %.3f\n", s.WriteFrac())
+		fmt.Printf("unique lines: %d (%.1f kB footprint)\n",
+			s.UniqueLines, float64(s.UniqueLines)*64/1024)
+		return
+	}
+
+	if *out == "" {
+		fatal(fmt.Errorf("need -o output file (or -inspect)"))
+	}
+	prof, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := workload.NewStream(prof, *core, *thread, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	count, err := trace.Record(f, src, *n)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fi, _ := os.Stat(*out)
+	fmt.Printf("recorded %d instructions of %s to %s (%.1f MB, %.2f B/instr)\n",
+		count, *wlName, *out, float64(fi.Size())/1e6, float64(fi.Size())/float64(count))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

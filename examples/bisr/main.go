@@ -1,0 +1,90 @@
+// Bisr: the manufacture-time test-and-repair flow of §2.3/§5.2. A
+// freshly fabricated sub-bank comes back from the fab with stuck-at
+// defects; built-in self-test locates them with March C-, the repair
+// allocator assigns spare rows (delegating isolated single-bit faults
+// to the in-line SECDED), and the repaired view is re-verified. The
+// punchline is the paper's synergy: ECC+spares repairs arrays that
+// neither resource could rescue alone — and 2D coding then restores the
+// soft-error immunity that spending ECC on hard faults gave up.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"twodcache"
+)
+
+const (
+	rows, cols = 128, 1152 // 16 (72,64) words per row
+	defects    = 14
+)
+
+func main() {
+	build := func() *twodcache.FaultyArray {
+		arr, err := twodcache.NewFaultyArray(rows, cols)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7)) // same defect map every time
+		for i := 0; i < defects; i++ {
+			kind := twodcache.StuckAt0
+			if rng.Intn(2) == 1 {
+				kind = twodcache.StuckAt1
+			}
+			if err := arr.Inject(twodcache.CellFault{
+				Row: rng.Intn(rows), Col: rng.Intn(cols), Kind: kind,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return arr
+	}
+
+	fmt.Printf("sub-bank: %dx%d cells, %d manufacturing defects\n\n", rows, cols, defects)
+
+	res := twodcache.RunMarch(build(), twodcache.MarchCMinus())
+	fmt.Printf("March C- (%d operations) found %d failing cells\n",
+		res.Operations, len(res.FailingCells()))
+
+	policies := []struct {
+		label string
+		cfg   twodcache.RepairConfig
+	}{
+		{"2 spare rows, no ECC", twodcache.RepairConfig{
+			Rows: rows, Cols: cols, SpareRows: 2, WordBits: 72}},
+		{"in-line SECDED, no spares", twodcache.RepairConfig{
+			Rows: rows, Cols: cols, WordBits: 72, ECCSingleBit: true}},
+		{"SECDED + 2 spare rows", twodcache.RepairConfig{
+			Rows: rows, Cols: cols, SpareRows: 2, WordBits: 72, ECCSingleBit: true}},
+	}
+	for _, p := range policies {
+		out, err := twodcache.SelfRepair(build(), p.cfg, twodcache.MarchCMinus())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s:\n", p.label)
+		fmt.Printf("  spares used: %d rows, %d cols; ECC absorbed %d faults\n",
+			len(out.Plan.RepairRows), len(out.Plan.RepairCols), out.Plan.ECCAbsorbed)
+		if out.Repaired {
+			fmt.Println("  => die ships")
+		} else {
+			fmt.Printf("  => die SCRAPPED (%d faults uncoverable)\n", len(out.Plan.Uncovered))
+		}
+	}
+
+	fmt.Println("\nWith ECC spent on hard faults, a later soft error in the same word")
+	fmt.Println("would be uncorrectable — unless 2D coding provides the multi-bit net:")
+	rel := twodcache.FieldReliability{
+		Caches:        10,
+		Geometry:      twodcache.YieldGeometry{Words: rows * cols / 72 * 1024, WordBits: 72},
+		FITPerMb:      1000,
+		HardErrorRate: float64(defects) / float64(rows*cols),
+	}
+	fmt.Printf("  P(all soft errors correctable over 5y) without 2D: %.1f%%\n",
+		100*rel.SuccessProbability(5))
+	rel.TwoD = true
+	fmt.Printf("  with 2D coding:                                    %.1f%%\n",
+		100*rel.SuccessProbability(5))
+}

@@ -1,0 +1,108 @@
+// Protectedcache: the end-to-end artefact — a functional write-back
+// cache whose data AND tag stores live in 2D-coded arrays. We run a
+// workload against it while bombarding the arrays with soft errors;
+// every read still returns exactly what was written.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"twodcache"
+)
+
+func main() {
+	backing := twodcache.NewMemoryBacking(64)
+	cache, err := twodcache.NewProtectedCache(twodcache.ProtectedCacheConfig{
+		Sets: 64, Ways: 4, LineBytes: 64,
+	}, backing)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	ref := map[uint64]byte{}
+	upsets, mces := 0, 0
+	const accesses = 20000
+	for i := 0; i < accesses; i++ {
+		addr := uint64(rng.Intn(1 << 16))
+		if rng.Intn(2) == 0 {
+			v := byte(rng.Intn(256))
+			err := cache.Write(addr, []byte{v})
+			if err == twodcache.ErrCacheUncorrectable {
+				// The machine-check path: detected, never silent. The OS
+				// reloads the set from memory; unflushed dirty data in it
+				// is lost, so drop those addresses from the reference.
+				mces++
+				cache.Repair(addr)
+				dropSet(ref, addr)
+				continue
+			} else if err != nil {
+				log.Fatal(err)
+			}
+			ref[addr] = v
+		} else {
+			got, err := cache.Read(addr, 1)
+			if err == twodcache.ErrCacheUncorrectable {
+				mces++
+				cache.Repair(addr)
+				dropSet(ref, addr)
+				continue
+			} else if err != nil {
+				log.Fatal(err)
+			}
+			if want, tracked := ref[addr]; tracked && got[0] != want {
+				log.Fatalf("SILENT DATA LOSS at %#x: got %d want %d", addr, got[0], want)
+			}
+		}
+		// Periodic scrubbing bounds error accumulation between events
+		// (see the abl-scrub ablation for the interval trade-off).
+		if i%250 == 0 && !cache.Scrub() {
+			// The scrub pass itself found damage beyond coverage: the
+			// machine-check path, at scrub time instead of access time.
+			mces++
+			cache.RepairAll()
+			ref = map[uint64]byte{} // unflushed dirty data is lost
+		}
+		// A soft-error storm: one upset event every ~100 accesses,
+		// sometimes a whole 8x8 cluster, aimed at data or tags.
+		if rng.Intn(100) == 0 {
+			upsets++
+			target := cache.DataArray()
+			if rng.Intn(4) == 0 {
+				target = cache.TagArray()
+			}
+			r0, c0 := rng.Intn(target.Rows()), rng.Intn(target.RowBits()-8)
+			if rng.Intn(3) == 0 {
+				for r := r0; r < r0+8 && r < target.Rows(); r++ {
+					for c := c0; c < c0+8; c++ {
+						target.FlipBit(r, c)
+					}
+				}
+			} else {
+				target.FlipBit(r0, c0)
+			}
+		}
+	}
+	_ = cache.Flush()
+
+	st := cache.Stats()
+	fmt.Printf("accesses: %d (%.1f%% hit rate), %d upset events injected\n",
+		accesses, 100*float64(st.Hits)/float64(st.Hits+st.Misses), upsets)
+	fmt.Printf("errors transparently recovered: %d; writebacks: %d\n",
+		st.ErrorsRecovered, st.Writebacks)
+	fmt.Printf("machine-check events (beyond 32x32 coverage): %d — detected, never silent\n", mces)
+	fmt.Println("every surviving read matched the reference model: no silent corruption")
+}
+
+// dropSet forgets reference values whose cache set was repaired (their
+// unflushed dirty data is legitimately lost in a machine check).
+func dropSet(ref map[uint64]byte, addr uint64) {
+	set := (addr >> 6) & 63
+	for a := range ref {
+		if (a>>6)&63 == set {
+			delete(ref, a)
+		}
+	}
+}

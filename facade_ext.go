@@ -1,0 +1,152 @@
+package twodcache
+
+// Façade over the manufacturing-test, repair, scrubbing, and trace
+// subsystems.
+
+import (
+	"io"
+
+	"twodcache/internal/bist"
+	"twodcache/internal/pcache"
+	"twodcache/internal/redundancy"
+	"twodcache/internal/scrub"
+	"twodcache/internal/trace"
+	"twodcache/internal/workload"
+)
+
+// --- BIST / march testing -----------------------------------------------
+
+// TestMemory is the bit-addressable array interface the march engine
+// drives.
+type TestMemory = bist.Memory
+
+// MarchAlgorithm is a named march test.
+type MarchAlgorithm = bist.Algorithm
+
+// MarchResult summarises one march run.
+type MarchResult = bist.Result
+
+// FaultyArray is a bit array with injectable manufacturing defects
+// (stuck-at and transition faults).
+type FaultyArray = bist.FaultyArray
+
+// CellFault is one injected defect.
+type CellFault = bist.CellFault
+
+// Manufacturing defect kinds.
+const (
+	StuckAt0       = bist.StuckAt0
+	StuckAt1       = bist.StuckAt1
+	TransitionUp   = bist.TransitionUp
+	TransitionDown = bist.TransitionDown
+)
+
+// NewFaultyArray builds a defect-injectable array for BIST studies.
+func NewFaultyArray(rows, cols int) (*FaultyArray, error) {
+	return bist.NewFaultyArray(rows, cols)
+}
+
+// MarchCMinus returns the 10N March C- test (stuck-at + transition +
+// unlinked coupling coverage) — the complexity class the paper equates
+// 2D recovery latency to (§4).
+func MarchCMinus() MarchAlgorithm { return bist.MarchCMinus() }
+
+// MarchX returns the 6N March X test.
+func MarchX() MarchAlgorithm { return bist.MarchX() }
+
+// MATSPlus returns the 5N MATS+ test.
+func MATSPlus() MarchAlgorithm { return bist.MATSPlus() }
+
+// RunMarch executes a march test over a memory.
+func RunMarch(mem TestMemory, alg MarchAlgorithm) MarchResult { return bist.Run(mem, alg) }
+
+// --- redundancy / BISR ----------------------------------------------------
+
+// RepairConfig describes spare rows/columns and optional in-line ECC.
+type RepairConfig = redundancy.Config
+
+// RepairPlan is a spare allocation.
+type RepairPlan = redundancy.Plan
+
+// RepairOutcome is the result of a full BISR pass.
+type RepairOutcome = bist.RepairOutcome
+
+// AllocateRepairs plans spare usage for a set of defective cells using
+// must-repair reduction plus greedy cover, optionally absorbing
+// single-bit faults into ECC (the paper's §5.2 synergy).
+func AllocateRepairs(cfg RepairConfig, faults []redundancy.Fault) (RepairPlan, error) {
+	return redundancy.Allocate(cfg, faults)
+}
+
+// SelfRepair runs the full BISR flow: march test, allocation,
+// re-verification through the repaired address map.
+func SelfRepair(arr *FaultyArray, cfg RepairConfig, alg MarchAlgorithm) (RepairOutcome, error) {
+	return bist.SelfRepair(arr, cfg, alg)
+}
+
+// --- scrubbing -------------------------------------------------------------
+
+// ScrubModel parameterises the scrub-interval accumulation study
+// (§2.1).
+type ScrubModel = scrub.Model
+
+// DefaultScrubModel returns the paper-configuration bank under a modern
+// multi-bit upset mix.
+func DefaultScrubModel() ScrubModel { return scrub.DefaultModel() }
+
+// --- trace record / replay --------------------------------------------------
+
+// TraceSummary reports aggregate statistics of a recorded trace.
+type TraceSummary = trace.Summary
+
+// RecordTrace captures n instructions of the named workload (core,
+// thread, seed select the stream) into w in the compact binary format.
+func RecordTrace(w io.Writer, workloadName string, core, thread int, seed int64, n int) (uint64, error) {
+	prof, err := workload.ByName(workloadName)
+	if err != nil {
+		return 0, err
+	}
+	src, err := workload.NewStream(prof, core, thread, seed)
+	if err != nil {
+		return 0, err
+	}
+	return trace.Record(w, src, n)
+}
+
+// ReplayTrace loads a recorded trace as a looping workload source that
+// can drive the simulated cores.
+func ReplayTrace(r io.Reader) (workload.Source, error) {
+	return trace.NewReplayer(r)
+}
+
+// SummarizeTrace scans a recorded trace and reports its statistics.
+func SummarizeTrace(r io.Reader) (TraceSummary, error) { return trace.Summarize(r) }
+
+// --- protected functional cache ---------------------------------------------
+
+// ProtectedCacheConfig sizes a complete 2D-protected set-associative
+// cache (data and tag sub-arrays both protected).
+type ProtectedCacheConfig = pcache.Config
+
+// ProtectedCache is a functional write-back cache whose data AND tag
+// stores live in 2D-coded arrays: reads and writes transparently
+// detect and repair injected bit errors.
+type ProtectedCache = pcache.Cache
+
+// CacheBacking is the next memory level behind a ProtectedCache.
+type CacheBacking = pcache.Backing
+
+// NewMemoryBacking returns a simple in-memory backing store.
+func NewMemoryBacking(lineBytes int) *pcache.MapBacking {
+	return pcache.NewMapBacking(lineBytes)
+}
+
+// NewProtectedCache builds the cache over a backing store.
+func NewProtectedCache(cfg ProtectedCacheConfig, backing CacheBacking) (*ProtectedCache, error) {
+	return pcache.New(cfg, backing)
+}
+
+// ErrCacheUncorrectable is the ProtectedCache's machine-check
+// equivalent: an error footprint beyond the 2D coverage was detected.
+// Recover with ProtectedCache.Repair.
+var ErrCacheUncorrectable = pcache.ErrUncorrectable

@@ -1,0 +1,109 @@
+package twodcache
+
+import (
+	"bytes"
+	"testing"
+
+	"twodcache/internal/redundancy"
+)
+
+func TestPublicBISTFlow(t *testing.T) {
+	arr, err := NewFaultyArray(64, 576)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Inject(CellFault{Row: 10, Col: 100, Kind: StuckAt1}); err != nil {
+		t.Fatal(err)
+	}
+	res := RunMarch(arr, MarchCMinus())
+	if res.Passed() || len(res.FailingCells()) != 1 {
+		t.Fatalf("march result: %d fails", len(res.Fails))
+	}
+	// MATS+ and March X run too.
+	for _, alg := range []MarchAlgorithm{MATSPlus(), MarchX()} {
+		a2, _ := NewFaultyArray(8, 8)
+		if !RunMarch(a2, alg).Passed() {
+			t.Fatalf("%s failed clean array", alg.Name)
+		}
+	}
+}
+
+func TestPublicSelfRepair(t *testing.T) {
+	arr, _ := NewFaultyArray(64, 576)
+	_ = arr.Inject(CellFault{Row: 3, Col: 9, Kind: StuckAt0})
+	out, err := SelfRepair(arr, RepairConfig{
+		Rows: 64, Cols: 576, SpareRows: 1, WordBits: 72,
+	}, MarchCMinus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatalf("outcome %+v", out)
+	}
+}
+
+func TestPublicAllocateRepairs(t *testing.T) {
+	plan, err := AllocateRepairs(RepairConfig{
+		Rows: 16, Cols: 144, SpareRows: 1, WordBits: 72,
+	}, []redundancy.Fault{{Row: 2, Col: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Repairable {
+		t.Fatalf("plan %+v", plan)
+	}
+}
+
+func TestPublicScrubModel(t *testing.T) {
+	m := DefaultScrubModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.EventRatePerHour() <= 0 {
+		t.Fatal("zero event rate")
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := RecordTrace(&buf, "Moldyn", 0, 0, 3, 5000)
+	if err != nil || n != 5000 {
+		t.Fatalf("record: %d, %v", n, err)
+	}
+	data := buf.Bytes()
+	sum, err := SummarizeTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Instructions != 5000 {
+		t.Fatalf("summary %+v", sum)
+	}
+	src, err := ReplayTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := 0
+	for i := 0; i < 5000; i++ {
+		if src.Next().IsMem {
+			mem++
+		}
+	}
+	if mem == 0 {
+		t.Fatal("replay produced no memory ops")
+	}
+	if _, err := RecordTrace(&buf, "nope", 0, 0, 1, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestPublicErrorInjectionProtection(t *testing.T) {
+	wl, _ := Workload("OLTP")
+	prot := Protection{L1TwoD: true, PortStealing: true, ErrorEveryCycles: 5000}
+	r, err := RunCMP(FatCMP(), prot, wl, 1, 10000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recoveries == 0 {
+		t.Fatal("no recovery events recorded")
+	}
+}

@@ -1,0 +1,3 @@
+module twodcache
+
+go 1.22

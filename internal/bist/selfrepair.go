@@ -1,0 +1,112 @@
+package bist
+
+import (
+	"twodcache/internal/redundancy"
+)
+
+// RepairOutcome summarises a BISR pass: test, allocate, re-verify.
+type RepairOutcome struct {
+	// Detected lists the failing cells the march test found.
+	Detected [][2]int
+	// Plan is the redundancy allocation chosen.
+	Plan redundancy.Plan
+	// Repaired reports whether the post-repair march run passed (all
+	// remaining faults hidden behind spares or left to ECC).
+	Repaired bool
+	// Operations counts total march operations across both passes.
+	Operations int
+}
+
+// remappedMemory views a faulty array through a redundancy remapper:
+// accesses to repaired rows/columns land on (fault-free) spare cells.
+type remappedMemory struct {
+	base   *FaultyArray
+	rm     *redundancy.Remapper
+	spares *FaultyArray // spare storage: extra rows and columns
+	cfg    redundancy.Config
+}
+
+func newRemappedMemory(base *FaultyArray, cfg redundancy.Config, rm *redundancy.Remapper) *remappedMemory {
+	// Spare storage sized generously: spare rows are full-width, spare
+	// columns full-height, held in one auxiliary array.
+	aux := MustFaultyArray(cfg.Rows+cfg.SpareRows+1, cfg.Cols+cfg.SpareCols+1)
+	return &remappedMemory{base: base, rm: rm, spares: aux, cfg: cfg}
+}
+
+// Rows returns the logical row count.
+func (m *remappedMemory) Rows() int { return m.cfg.Rows }
+
+// Cols returns the logical column count.
+func (m *remappedMemory) Cols() int { return m.cfg.Cols }
+
+// ReadBit reads through the remapping.
+func (m *remappedMemory) ReadBit(row, col int) bool {
+	pr, pc := m.rm.Translate(row, col)
+	if pr >= m.cfg.Rows || pc >= m.cfg.Cols {
+		return m.spares.ReadBit(pr, pc)
+	}
+	return m.base.ReadBit(pr, pc)
+}
+
+// WriteBit writes through the remapping.
+func (m *remappedMemory) WriteBit(row, col int, v bool) {
+	pr, pc := m.rm.Translate(row, col)
+	if pr >= m.cfg.Rows || pc >= m.cfg.Cols {
+		m.spares.WriteBit(pr, pc, v)
+		return
+	}
+	m.base.WriteBit(pr, pc, v)
+}
+
+var _ Memory = (*remappedMemory)(nil)
+
+// SelfRepair runs the full BISR flow of §2.3/§4: march-test the array,
+// feed the failing cells to the redundancy allocator, program the
+// remapper, and re-run the march through the repaired view. With
+// cfg.ECCSingleBit, cells left to the ECC are excluded from the
+// re-verification (the in-line SECDED owns them at run time).
+func SelfRepair(arr *FaultyArray, cfg redundancy.Config, alg Algorithm) (RepairOutcome, error) {
+	out := RepairOutcome{}
+	first := Run(arr, alg)
+	out.Operations = first.Operations
+	out.Detected = first.FailingCells()
+
+	var faults []redundancy.Fault
+	for _, c := range out.Detected {
+		faults = append(faults, redundancy.Fault{Row: c[0], Col: c[1]})
+	}
+	plan, err := redundancy.Allocate(cfg, faults)
+	if err != nil {
+		return out, err
+	}
+	out.Plan = plan
+	if !plan.Repairable {
+		return out, nil
+	}
+	rm, err := redundancy.NewRemapper(cfg, plan)
+	if err != nil {
+		return out, err
+	}
+	view := newRemappedMemory(arr, cfg, rm)
+	second := Run(view, alg)
+	out.Operations += second.Operations
+
+	if cfg.ECCSingleBit {
+		// Faults the plan left to ECC legitimately still fail the raw
+		// march; verify there is at most one per word and nothing else.
+		perWord := map[[2]int]int{}
+		for _, f := range second.FailingCells() {
+			perWord[[2]int{f[0], f[1] / cfg.WordBits}]++
+		}
+		out.Repaired = true
+		for _, n := range perWord {
+			if n > 1 {
+				out.Repaired = false
+				break
+			}
+		}
+	} else {
+		out.Repaired = second.Passed()
+	}
+	return out, nil
+}

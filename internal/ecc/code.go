@@ -1,0 +1,148 @@
+// Package ecc provides the per-word error codes used by the 2D scheme
+// and its conventional baselines: interleaved-parity detection codes
+// (EDCn), Hsiao SECDED, and wrappers around the BCH multi-bit codes.
+// It also provides the check-bit and coding-latency cost models the
+// paper uses to size codes (Fig. 1 and Fig. 7).
+package ecc
+
+import (
+	"fmt"
+
+	"twodcache/internal/bch"
+	"twodcache/internal/bitvec"
+)
+
+// Result mirrors bch.Result for all per-word codes.
+type Result = bch.Result
+
+// Re-exported decode outcomes.
+const (
+	Clean     = bch.Clean
+	Corrected = bch.Corrected
+	Detected  = bch.Detected
+)
+
+// Code is a systematic per-word error code. Encode appends check bits to
+// the data word; Decode checks (and for correcting codes, repairs) a
+// codeword in place.
+type Code interface {
+	// Name identifies the code, e.g. "EDC8", "SECDED", "OECNED".
+	Name() string
+	// DataBits is the number of data bits per codeword.
+	DataBits() int
+	// CheckBits is the number of check bits per codeword.
+	CheckBits() int
+	// CorrectCapability is the maximum number of bit errors the code is
+	// guaranteed to correct (0 for detection-only codes).
+	CorrectCapability() int
+	// DetectCapability is the maximum number of bit errors the code is
+	// guaranteed to detect. For EDCn this applies to contiguous bursts.
+	DetectCapability() int
+	// Encode returns the codeword (data followed by check bits).
+	Encode(data *bitvec.Vector) *bitvec.Vector
+	// Decode verifies cw, correcting in place when possible. It returns
+	// the outcome and the number of bits corrected.
+	Decode(cw *bitvec.Vector) (Result, int)
+	// Data extracts the data bits from a codeword.
+	Data(cw *bitvec.Vector) *bitvec.Vector
+}
+
+// CodewordBits returns the total codeword size of c.
+func CodewordBits(c Code) int { return c.DataBits() + c.CheckBits() }
+
+// StorageOverhead returns check bits as a fraction of data bits.
+func StorageOverhead(c Code) float64 {
+	return float64(c.CheckBits()) / float64(c.DataBits())
+}
+
+// --- BCH-backed correcting codes -------------------------------------
+
+// bchCode adapts bch.Code to the Code interface.
+type bchCode struct {
+	name string
+	c    *bch.Code
+}
+
+// NewBCHCode wraps a t-error-correcting, (t+1)-detecting BCH code for k
+// data bits under the conventional name (DECTED, QECPED, OECNED, ...).
+func NewBCHCode(name string, k, t int) (Code, error) {
+	c, err := bch.New(k, t)
+	if err != nil {
+		return nil, fmt.Errorf("ecc: %s: %w", name, err)
+	}
+	return &bchCode{name: name, c: c}, nil
+}
+
+// NewDECTED returns a double-error-correct triple-error-detect code.
+func NewDECTED(k int) (Code, error) { return NewBCHCode("DECTED", k, 2) }
+
+// NewQECPED returns a quad-error-correct penta-error-detect code.
+func NewQECPED(k int) (Code, error) { return NewBCHCode("QECPED", k, 4) }
+
+// NewOECNED returns an octal-error-correct nona-error-detect code.
+func NewOECNED(k int) (Code, error) { return NewBCHCode("OECNED", k, 8) }
+
+func (b *bchCode) Name() string           { return b.name }
+func (b *bchCode) DataBits() int          { return b.c.K() }
+func (b *bchCode) CheckBits() int         { return b.c.ParityBits() }
+func (b *bchCode) CorrectCapability() int { return b.c.T() }
+func (b *bchCode) DetectCapability() int  { return b.c.T() + 1 }
+
+func (b *bchCode) Encode(data *bitvec.Vector) *bitvec.Vector {
+	// bch stores parity first; re-order to data-then-check for a uniform
+	// external layout.
+	cw := b.c.Encode(data)
+	r := b.c.ParityBits()
+	out := bitvec.New(cw.Len())
+	out.SetSlice(0, b.c.Data(cw))
+	out.SetSlice(data.Len(), cw.Slice(0, r-boolToInt(b.extended())))
+	if b.extended() {
+		out.Set(cw.Len()-1, cw.Bit(cw.Len()-1))
+	}
+	return out
+}
+
+func (b *bchCode) extended() bool {
+	// bch.New always builds extended codes in this package.
+	return true
+}
+
+func (b *bchCode) toInternal(cw *bitvec.Vector) *bitvec.Vector {
+	k := b.c.K()
+	r := b.c.ParityBits()
+	in := bitvec.New(cw.Len())
+	in.SetSlice(r-1, cw.Slice(0, k))       // data after BCH parity
+	in.SetSlice(0, cw.Slice(k, k+r-1))     // BCH parity first
+	in.Set(cw.Len()-1, cw.Bit(cw.Len()-1)) // extended parity last
+	return in
+}
+
+func (b *bchCode) fromInternal(in *bitvec.Vector) *bitvec.Vector {
+	k := b.c.K()
+	r := b.c.ParityBits()
+	out := bitvec.New(in.Len())
+	out.SetSlice(0, in.Slice(r-1, r-1+k))
+	out.SetSlice(k, in.Slice(0, r-1))
+	out.Set(in.Len()-1, in.Bit(in.Len()-1))
+	return out
+}
+
+func (b *bchCode) Decode(cw *bitvec.Vector) (Result, int) {
+	in := b.toInternal(cw)
+	res, n := b.c.Decode(in)
+	if res == Corrected {
+		cw.CopyFrom(b.fromInternal(in))
+	}
+	return res, n
+}
+
+func (b *bchCode) Data(cw *bitvec.Vector) *bitvec.Vector {
+	return cw.Slice(0, b.c.K())
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,124 @@
+package ecc
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckBitsFor returns the paper's Hamming-distance-based check-bit
+// estimate for a t-error-correcting, (t+1)-error-detecting code on k
+// data bits: the smallest m with 2^m >= k + t*m + 1 gives r = t*m + 1.
+// This reproduces the codeword sizes quoted in the paper: (72,64)
+// SECDED, (79,64) DECTED, (93,64) QECPED, (121,64) OECNED, (266,256)
+// SECDED.
+func CheckBitsFor(k, t int) int {
+	for m := 1; m <= 32; m++ {
+		if 1<<uint(m) >= k+t*m+1 {
+			return t*m + 1
+		}
+	}
+	panic(fmt.Sprintf("ecc: CheckBitsFor(%d,%d) does not converge", k, t))
+}
+
+// Spec captures the cost-relevant parameters of a coding scheme for a
+// given word size, used by the Fig. 1 and Fig. 7 overhead models.
+type Spec struct {
+	// Name of the scheme ("EDC8", "SECDED", "DECTED", "QECPED", "OECNED").
+	Name string
+	// DataBits per codeword.
+	DataBits int
+	// CheckBits per codeword.
+	CheckBits int
+	// Correct is the guaranteed correction capability in bits.
+	Correct int
+	// Detect is the guaranteed detection capability in bits
+	// (contiguous for EDCn).
+	Detect int
+	// FaninPerCheck is the number of inputs XOR-ed to produce one
+	// syndrome bit during a read check.
+	FaninPerCheck int
+}
+
+// StorageOverhead returns CheckBits/DataBits.
+func (s Spec) StorageOverhead() float64 {
+	return float64(s.CheckBits) / float64(s.DataBits)
+}
+
+// SyndromeDepth models coding latency as the depth of the syndrome
+// generation and comparison circuit: an XOR tree per check bit followed
+// by an OR tree across syndrome bits (paper §5.1).
+func (s Spec) SyndromeDepth() int {
+	xor := ceilLog2(s.FaninPerCheck + 1) // +1 folds in the stored check bit
+	or := ceilLog2(s.CheckBits)
+	return xor + or
+}
+
+// XORGateCount estimates the number of 2-input XOR gates in the syndrome
+// generator; a proxy for coding-logic dynamic energy.
+func (s Spec) XORGateCount() int {
+	return s.CheckBits * s.FaninPerCheck
+}
+
+// SpecEDC returns the Spec of EDCn over k data bits.
+func SpecEDC(k, n int) Spec {
+	return Spec{
+		Name:          fmt.Sprintf("EDC%d", n),
+		DataBits:      k,
+		CheckBits:     n,
+		Correct:       0,
+		Detect:        n,
+		FaninPerCheck: (k + n - 1) / n,
+	}
+}
+
+// SpecCorrecting returns the Spec of a t-EC/(t+1)-ED code over k data
+// bits under its conventional name.
+func SpecCorrecting(name string, k, t int) Spec {
+	r := CheckBitsFor(k, t)
+	fanin := (k + r) / 2 // dense parity-check rows for BCH-class codes
+	if t == 1 {
+		// Hsiao SECDED uses minimal odd-weight columns: row weight ~ 3k/r.
+		fanin = (3*k + r - 1) / r
+	}
+	return Spec{
+		Name:          name,
+		DataBits:      k,
+		CheckBits:     r,
+		Correct:       t,
+		Detect:        t + 1,
+		FaninPerCheck: fanin,
+	}
+}
+
+// SpecByName resolves a scheme name to its Spec for k data bits.
+// Recognised names: EDC4, EDC8, EDC16, EDC32, SECDED, DECTED, QECPED,
+// OECNED.
+func SpecByName(name string, k int) (Spec, error) {
+	switch name {
+	case "EDC4":
+		return SpecEDC(k, 4), nil
+	case "EDC8":
+		return SpecEDC(k, 8), nil
+	case "EDC16":
+		return SpecEDC(k, 16), nil
+	case "EDC32":
+		return SpecEDC(k, 32), nil
+	case "SECDED":
+		return SpecCorrecting("SECDED", k, 1), nil
+	case "DECTED":
+		return SpecCorrecting("DECTED", k, 2), nil
+	case "QECPED":
+		return SpecCorrecting("QECPED", k, 4), nil
+	case "OECNED":
+		return SpecCorrecting("OECNED", k, 8), nil
+	default:
+		return Spec{}, fmt.Errorf("ecc: unknown scheme %q", name)
+	}
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

@@ -1,0 +1,94 @@
+package ecc
+
+import "testing"
+
+func TestCheckBitsForMatchesPaper(t *testing.T) {
+	// Codeword sizes quoted in the paper (Fig. 1 and §2.1):
+	cases := []struct{ k, t, want int }{
+		{64, 1, 8},   // (72,64) SECDED
+		{64, 2, 15},  // DECTED
+		{64, 4, 29},  // QECPED
+		{64, 8, 57},  // (121,64) OECNED
+		{256, 1, 10}, // (266,256) SECDED
+		{256, 8, 73}, // OECNED on 256b
+	}
+	for _, tc := range cases {
+		if got := CheckBitsFor(tc.k, tc.t); got != tc.want {
+			t.Errorf("CheckBitsFor(%d,%d) = %d, want %d", tc.k, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSpecStorageOverheadFig1(t *testing.T) {
+	// Fig. 1(b): EDC8 and SECDED on 64b both cost 12.5%; OECNED on 64b
+	// costs 89.1%.
+	edc8 := SpecEDC(64, 8)
+	if edc8.StorageOverhead() != 0.125 {
+		t.Errorf("EDC8 overhead = %v", edc8.StorageOverhead())
+	}
+	sec := SpecCorrecting("SECDED", 64, 1)
+	if sec.StorageOverhead() != 0.125 {
+		t.Errorf("SECDED overhead = %v", sec.StorageOverhead())
+	}
+	oec := SpecCorrecting("OECNED", 64, 8)
+	if o := oec.StorageOverhead(); o < 0.89 || o > 0.90 {
+		t.Errorf("OECNED overhead = %v, want ~0.891", o)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	names := []string{"EDC4", "EDC8", "EDC16", "EDC32", "SECDED", "DECTED", "QECPED", "OECNED"}
+	for _, n := range names {
+		s, err := SpecByName(n, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if s.DataBits != 64 || s.CheckBits <= 0 {
+			t.Fatalf("%s: bad spec %+v", n, s)
+		}
+	}
+	if _, err := SpecByName("XYZ", 64); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// Paper: EDC8 latency ~ byte parity << stronger ECC; OECNED deepest.
+	edc8 := SpecEDC(64, 8).SyndromeDepth()
+	sec := SpecCorrecting("SECDED", 64, 1).SyndromeDepth()
+	dec := SpecCorrecting("DECTED", 64, 2).SyndromeDepth()
+	oec := SpecCorrecting("OECNED", 64, 8).SyndromeDepth()
+	if !(edc8 <= sec && sec <= dec && dec <= oec) {
+		t.Fatalf("latency ordering violated: EDC8=%d SECDED=%d DECTED=%d OECNED=%d",
+			edc8, sec, dec, oec)
+	}
+}
+
+func TestGateCountGrowsWithStrength(t *testing.T) {
+	prev := 0
+	for _, name := range []string{"SECDED", "DECTED", "QECPED", "OECNED"} {
+		s, _ := SpecByName(name, 64)
+		g := s.XORGateCount()
+		if g <= prev {
+			t.Fatalf("%s gate count %d not increasing (prev %d)", name, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestSpecMatchesImplementations(t *testing.T) {
+	// The analytical Spec and the executable codes must agree on sizes.
+	if got, want := SpecCorrecting("SECDED", 64, 1).CheckBits, MustSECDED(64).CheckBits(); got != want {
+		t.Errorf("SECDED spec %d != impl %d", got, want)
+	}
+	oec, err := NewOECNED(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := SpecCorrecting("OECNED", 64, 8).CheckBits, oec.CheckBits(); got != want {
+		t.Errorf("OECNED spec %d != impl %d", got, want)
+	}
+	if got, want := SpecEDC(64, 8).CheckBits, MustEDC(64, 8).CheckBits(); got != want {
+		t.Errorf("EDC8 spec %d != impl %d", got, want)
+	}
+}

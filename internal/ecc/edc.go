@@ -1,0 +1,98 @@
+package ecc
+
+import (
+	"fmt"
+
+	"twodcache/internal/bitvec"
+)
+
+// EDC is the paper's interleaved-parity error detection code EDCn:
+// n check bits per word where check bit i stores the parity of every
+// n-th data bit starting at i (parity_bit[i] = xor(data[i], data[i+n],
+// data[i+2n], ...)). EDCn detects all contiguous errors of up to n bits
+// (each flipped bit falls in a distinct parity group). It corrects
+// nothing by itself — in the 2D scheme correction is the vertical
+// code's job.
+type EDC struct {
+	k int // data bits
+	n int // interleave factor = check bits
+}
+
+// NewEDC returns an EDCn code for k data bits. n must be positive and
+// not exceed k.
+func NewEDC(k, n int) (*EDC, error) {
+	if k <= 0 || n <= 0 || n > k {
+		return nil, fmt.Errorf("ecc: invalid EDC parameters k=%d n=%d", k, n)
+	}
+	return &EDC{k: k, n: n}, nil
+}
+
+// MustEDC is NewEDC panicking on error.
+func MustEDC(k, n int) *EDC {
+	e, err := NewEDC(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name returns "EDC<n>".
+func (e *EDC) Name() string { return fmt.Sprintf("EDC%d", e.n) }
+
+// DataBits returns the number of data bits per codeword.
+func (e *EDC) DataBits() int { return e.k }
+
+// CheckBits returns n, the number of interleaved parity bits.
+func (e *EDC) CheckBits() int { return e.n }
+
+// CorrectCapability is 0: EDC is detection-only.
+func (e *EDC) CorrectCapability() int { return 0 }
+
+// DetectCapability is n for contiguous bursts.
+func (e *EDC) DetectCapability() int { return e.n }
+
+// checks computes the n interleaved parity bits of data.
+func (e *EDC) checks(data *bitvec.Vector) *bitvec.Vector {
+	c := bitvec.New(e.n)
+	for _, i := range data.Ones() {
+		c.Flip(i % e.n)
+	}
+	return c
+}
+
+// Encode appends the n parity bits to data.
+func (e *EDC) Encode(data *bitvec.Vector) *bitvec.Vector {
+	if data.Len() != e.k {
+		panic(fmt.Sprintf("ecc: EDC encode length %d != k %d", data.Len(), e.k))
+	}
+	cw := bitvec.New(e.k + e.n)
+	cw.SetSlice(0, data)
+	cw.SetSlice(e.k, e.checks(data))
+	return cw
+}
+
+// Decode verifies the interleaved parity. EDC never corrects; any parity
+// mismatch yields Detected.
+func (e *EDC) Decode(cw *bitvec.Vector) (Result, int) {
+	if cw.Len() != e.k+e.n {
+		panic(fmt.Sprintf("ecc: EDC codeword length %d != %d", cw.Len(), e.k+e.n))
+	}
+	if e.Syndrome(cw).IsZero() {
+		return Clean, 0
+	}
+	return Detected, 0
+}
+
+// Syndrome returns the n-bit parity mismatch vector: bit g is set when
+// parity group g is inconsistent. The 2D recovery process uses it to
+// identify faulty column groups.
+func (e *EDC) Syndrome(cw *bitvec.Vector) *bitvec.Vector {
+	s := e.checks(cw.Slice(0, e.k))
+	s.Xor(cw.Slice(e.k, e.k+e.n))
+	return s
+}
+
+// Data extracts the data bits.
+func (e *EDC) Data(cw *bitvec.Vector) *bitvec.Vector { return cw.Slice(0, e.k) }
+
+var _ Code = (*EDC)(nil)

@@ -1,0 +1,141 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"twodcache/internal/bitvec"
+)
+
+// SECDED is a Hsiao-style single-error-correct, double-error-detect code
+// (odd-weight-column construction). With k=64 it yields the classic
+// (72,64) code; with k=256 the (266,256) code the paper uses for L2
+// words. It can also correct single-bit manufacture-time hard errors
+// in-line, the paper's yield-enhancement configuration (§5.2).
+type SECDED struct {
+	k, r int
+	// cols[j] is the r-bit parity-check column for codeword bit j
+	// (data bits 0..k-1 then check bits k..k+r-1).
+	cols []uint16
+	// colIndex maps a column pattern back to its bit position + 1.
+	colIndex map[uint16]int
+}
+
+// NewSECDED builds the code for k data bits, picking the smallest r with
+// 2^(r-1) >= k + r (enough distinct odd-weight columns).
+func NewSECDED(k int) (*SECDED, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ecc: invalid SECDED k=%d", k)
+	}
+	r := 2
+	for ; r <= 16; r++ {
+		if 1<<(uint(r)-1) >= k+r {
+			break
+		}
+	}
+	if r > 16 {
+		return nil, fmt.Errorf("ecc: SECDED k=%d too large (r > 16)", k)
+	}
+	s := &SECDED{k: k, r: r, cols: make([]uint16, k+r), colIndex: make(map[uint16]int)}
+	// Data bits take odd-weight columns of weight >= 3, lowest weight
+	// first (Hsiao's minimal-weight rule).
+	idx := 0
+	for w := 3; w <= r && idx < k; w += 2 {
+		for c := uint16(1); int(c) < 1<<uint(r) && idx < k; c++ {
+			if bits.OnesCount16(c) == w {
+				s.cols[idx] = c
+				idx++
+			}
+		}
+	}
+	if idx < k {
+		return nil, fmt.Errorf("ecc: SECDED internal: not enough odd columns for k=%d r=%d", k, r)
+	}
+	// Check bits take the weight-1 identity columns.
+	for i := 0; i < r; i++ {
+		s.cols[k+i] = 1 << uint(i)
+	}
+	for j, c := range s.cols {
+		s.colIndex[c] = j + 1
+	}
+	return s, nil
+}
+
+// MustSECDED is NewSECDED panicking on error.
+func MustSECDED(k int) *SECDED {
+	s, err := NewSECDED(k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns "SECDED".
+func (s *SECDED) Name() string { return "SECDED" }
+
+// DataBits returns the number of data bits per codeword.
+func (s *SECDED) DataBits() int { return s.k }
+
+// CheckBits returns the number of check bits.
+func (s *SECDED) CheckBits() int { return s.r }
+
+// CorrectCapability is 1.
+func (s *SECDED) CorrectCapability() int { return 1 }
+
+// DetectCapability is 2.
+func (s *SECDED) DetectCapability() int { return 2 }
+
+// Encode appends check bits so that every parity-check row is even.
+func (s *SECDED) Encode(data *bitvec.Vector) *bitvec.Vector {
+	if data.Len() != s.k {
+		panic(fmt.Sprintf("ecc: SECDED encode length %d != k %d", data.Len(), s.k))
+	}
+	var syn uint16
+	for _, j := range data.Ones() {
+		syn ^= s.cols[j]
+	}
+	cw := bitvec.New(s.k + s.r)
+	cw.SetSlice(0, data)
+	for i := 0; i < s.r; i++ {
+		if syn&(1<<uint(i)) != 0 {
+			cw.Set(s.k+i, true)
+		}
+	}
+	return cw
+}
+
+// syndrome computes H * cw.
+func (s *SECDED) syndrome(cw *bitvec.Vector) uint16 {
+	var syn uint16
+	for _, j := range cw.Ones() {
+		syn ^= s.cols[j]
+	}
+	return syn
+}
+
+// Decode corrects a single-bit error in place; even-weight or unmatched
+// syndromes report Detected.
+func (s *SECDED) Decode(cw *bitvec.Vector) (Result, int) {
+	if cw.Len() != s.k+s.r {
+		panic(fmt.Sprintf("ecc: SECDED codeword length %d != %d", cw.Len(), s.k+s.r))
+	}
+	syn := s.syndrome(cw)
+	if syn == 0 {
+		return Clean, 0
+	}
+	if bits.OnesCount16(syn)%2 == 0 {
+		// Even, nonzero: double-bit error.
+		return Detected, 0
+	}
+	if j := s.colIndex[syn]; j != 0 {
+		cw.Flip(j - 1)
+		return Corrected, 1
+	}
+	// Odd-weight syndrome not matching any column: >= 3 errors.
+	return Detected, 0
+}
+
+// Data extracts the data bits.
+func (s *SECDED) Data(cw *bitvec.Vector) *bitvec.Vector { return cw.Slice(0, s.k) }
+
+var _ Code = (*SECDED)(nil)

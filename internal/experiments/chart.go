@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BarChart renders one numeric column of the table as a horizontal bar
+// chart — a terminal rendition of the paper's figure for quick visual
+// comparison. Values may be plain floats or "%"-suffixed. Non-numeric
+// rows are skipped.
+func (t Table) BarChart(col int, width int) string {
+	if col <= 0 || col >= len(t.Header) {
+		return ""
+	}
+	if width <= 0 {
+		width = 50
+	}
+	type bar struct {
+		label string
+		value float64
+	}
+	var bars []bar
+	maxVal := 0.0
+	for _, r := range t.Rows {
+		if col >= len(r) {
+			continue
+		}
+		v, err := parseNumeric(r[col])
+		if err != nil {
+			continue
+		}
+		bars = append(bars, bar{label: r[0], value: v})
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if len(bars) == 0 {
+		return ""
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.Title, t.Header[col])
+	for _, b := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(b.value / maxVal * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %s\n", labelW, b.label,
+			strings.Repeat("#", n), formatNumeric(b.value, t.Rows[0][col]))
+	}
+	return sb.String()
+}
+
+// Charts renders a bar chart for every numeric column of the table.
+func (t Table) Charts(width int) string {
+	var sb strings.Builder
+	for col := 1; col < len(t.Header); col++ {
+		if c := t.BarChart(col, width); c != "" {
+			sb.WriteString(c)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// parseNumeric accepts "12.5", "12.5%", and "3x" style cells.
+func parseNumeric(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	return strconv.ParseFloat(s, 64)
+}
+
+// formatNumeric echoes the value in the style of the sample cell.
+func formatNumeric(v float64, sample string) string {
+	if strings.HasSuffix(strings.TrimSpace(sample), "%") {
+		return fmt.Sprintf("%.1f%%", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,87 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver runs the relevant models or
+// simulations and returns a Table whose rows mirror what the paper
+// reports, so the repository regenerates every artefact of §5 (and the
+// illustrative Figs. 1-3) from first principles.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig7a".
+	ID string
+	// Title describes the artefact, e.g. "Fig. 7(a): 64kB L1 overheads".
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, already formatted.
+	Rows [][]string
+	// Notes carries caveats (substitutions, calibration remarks).
+	Notes []string
+}
+
+// Render returns a human-readable fixed-width rendering.
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Options sizes the simulation-backed experiments.
+type Options struct {
+	// Samples is the number of matched-pair samples per data point.
+	Samples int
+	// Warmup and Measure are the per-run cycle counts.
+	Warmup, Measure uint64
+	// Trials is the number of fault-injection trials per cell.
+	Trials int
+	// Seed anchors all randomness.
+	Seed int64
+}
+
+// Quick returns options sized for tests and smoke runs (seconds).
+func Quick() Options {
+	return Options{Samples: 1, Warmup: 30000, Measure: 20000, Trials: 3, Seed: 1}
+}
+
+// Full returns options sized for the paper-style run (minutes).
+func Full() Options {
+	return Options{Samples: 5, Warmup: 150000, Measure: 50000, Trials: 20, Seed: 1}
+}
+
+func pct(x float64) string  { return fmt.Sprintf("%.1f%%", x*100) }
+func f2(x float64) string   { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string   { return fmt.Sprintf("%.1f", x) }
+func itoa(i int) string     { return fmt.Sprintf("%d", i) }
+func norm(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }

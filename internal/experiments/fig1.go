@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"twodcache/internal/ecc"
+	"twodcache/internal/vlsi"
+)
+
+var fig1Schemes = []string{"EDC8", "SECDED", "DECTED", "QECPED", "OECNED"}
+
+// Fig1b reproduces Fig. 1(b): extra memory storage of each code for
+// 64-bit and 256-bit words.
+func Fig1b() Table {
+	t := Table{
+		ID:     "fig1b",
+		Title:  "Fig. 1(b): extra memory storage of EDC/ECC codes",
+		Header: []string{"code", "64b word", "256b word"},
+	}
+	for _, name := range fig1Schemes {
+		s64, err := ecc.SpecByName(name, 64)
+		if err != nil {
+			panic(err)
+		}
+		s256, err := ecc.SpecByName(name, 256)
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{name, pct(s64.StorageOverhead()), pct(s256.StorageOverhead())})
+	}
+	return t
+}
+
+// Fig1c reproduces Fig. 1(c): extra energy per read of each code on a
+// 64 kB array (64-bit words) and a 4 MB array (256-bit words), relative
+// to the same array without coding logic or check bits.
+func Fig1c() Table {
+	t := Table{
+		ID:     "fig1c",
+		Title:  "Fig. 1(c): extra energy per read of EDC/ECC codes",
+		Header: []string{"code", "64b word / 64kB array", "256b word / 4MB array"},
+		Notes: []string{
+			"energy from the Cacti-like internal/vlsi model at 70nm (substitute for modified Cacti 4.0)",
+		},
+	}
+	tech := vlsi.Default70nm()
+	base := func(spec vlsi.CacheSpec) float64 {
+		// Uncoded reference: zero check bits, no syndrome logic.
+		plain := ecc.Spec{Name: "none", DataBits: spec.DataWordBits, CheckBits: 0}
+		// CodedCache requires CheckBits>=0; emulate with an EDC of zero
+		// cost by computing the array directly.
+		c, err := vlsi.CodedCache(tech, spec, plain, 1, 0, vlsi.BalancedOpt)
+		if err != nil {
+			panic(err)
+		}
+		return c.AccessEnergyPJ
+	}
+	l1, l2 := vlsi.L1Spec64KB(), vlsi.L2Spec4MB()
+	b1, b2 := base(l1), base(l2)
+	for _, name := range fig1Schemes {
+		s64, _ := ecc.SpecByName(name, 64)
+		s256, _ := ecc.SpecByName(name, 256)
+		c1, err := vlsi.CodedCache(tech, l1, s64, 1, 0, vlsi.BalancedOpt)
+		if err != nil {
+			panic(err)
+		}
+		c2, err := vlsi.CodedCache(tech, l2, s256, 1, 0, vlsi.BalancedOpt)
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			pct(c1.AccessEnergyPJ/b1 - 1),
+			pct(c2.AccessEnergyPJ/b2 - 1),
+		})
+	}
+	return t
+}

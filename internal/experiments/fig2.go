@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twodcache/internal/ecc"
+	"twodcache/internal/vlsi"
+)
+
+// Fig2 reproduces Fig. 2(b) and (c): normalised read energy versus the
+// physical bit-interleaving degree (1:1 .. 16:1) for the 64 kB L1 with
+// (72,64) SECDED words and the 4 MB L2 with (266,256) SECDED words,
+// under each Cacti optimisation objective.
+func Fig2() []Table {
+	tech := vlsi.Default70nm()
+	objs := []vlsi.Objective{vlsi.DelayOpt, vlsi.PowerOpt, vlsi.DelayAreaOpt, vlsi.BalancedOpt}
+	specs := []struct {
+		id    string
+		title string
+		spec  vlsi.CacheSpec
+	}{
+		{"fig2b", "Fig. 2(b): 64kB cache (2-way, 2 ports, 1 bank) read energy vs interleave", vlsi.L1Spec64KB()},
+		{"fig2c", "Fig. 2(c): 4MB cache (16-way, 1 port, 8 banks) read energy vs interleave", vlsi.L2Spec4MB()},
+	}
+	var out []Table
+	for _, sc := range specs {
+		t := Table{
+			ID:     sc.id,
+			Title:  sc.title,
+			Header: []string{"objective", "1:1", "2:1", "4:1", "8:1", "16:1"},
+			Notes: []string{
+				"normalised to the 1:1 design under the same objective",
+			},
+		}
+		code := ecc.SpecCorrecting("SECDED", sc.spec.DataWordBits, 1)
+		for _, obj := range objs {
+			sweep, err := vlsi.InterleaveSweep(tech, sc.spec, code, 16, obj)
+			if err != nil {
+				panic(fmt.Sprintf("fig2 %s/%v: %v", sc.id, obj, err))
+			}
+			row := []string{obj.String()}
+			for _, x := range sweep {
+				row = append(row, f2(x))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}

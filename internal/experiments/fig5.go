@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twodcache/internal/sim"
+	"twodcache/internal/stats"
+	"twodcache/internal/workload"
+)
+
+// fig5Protections are the four bars of Fig. 5, in paper order.
+func fig5Protections() []sim.Protection {
+	return []sim.Protection{
+		{L1TwoD: true},
+		{L1TwoD: true, PortStealing: true},
+		{L2TwoD: true},
+		{L1TwoD: true, L2TwoD: true, PortStealing: true},
+	}
+}
+
+// Fig5 reproduces Fig. 5(a) or (b): percentage IPC loss of each
+// protection configuration relative to the unprotected baseline, per
+// workload plus the average, on the given system.
+func Fig5(cfg sim.SystemConfig, opt Options) Table {
+	t := Table{
+		ID:     "fig5" + suffixFor(cfg),
+		Title:  fmt.Sprintf("Fig. 5(%s): %% IPC loss, %s baseline", suffixFor(cfg), cfg.Name),
+		Header: []string{"workload", "L1 D-cache", "L1 + port stealing", "L2 cache", "L1(PS)+L2"},
+		Notes: []string{
+			fmt.Sprintf("matched-pair samples=%d, warmup=%d, measure=%d cycles", opt.Samples, opt.Warmup, opt.Measure),
+			"synthetic workload traces substitute for FLEXUS full-system runs",
+		},
+	}
+	prots := fig5Protections()
+	avgs := make([]stats.Sample, len(prots))
+	for _, prof := range workload.Profiles() {
+		row := []string{prof.Name}
+		for i, prot := range prots {
+			rep, err := sim.PerformanceLoss(cfg, prot, prof, opt.Samples, opt.Warmup, opt.Measure)
+			if err != nil {
+				panic(fmt.Sprintf("fig5 %s/%s: %v", prof.Name, prot, err))
+			}
+			row = append(row, f1(rep.MeanLossPct)+"%")
+			avgs[i].Add(rep.MeanLossPct)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"Average"}
+	for i := range prots {
+		avg = append(avg, f1(avgs[i].Mean())+"%")
+	}
+	t.Rows = append(t.Rows, avg)
+	return t
+}
+
+func suffixFor(cfg sim.SystemConfig) string {
+	if cfg.OoO {
+		return "a"
+	}
+	return "b"
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twodcache/internal/sim"
+	"twodcache/internal/workload"
+)
+
+// Fig6 reproduces Fig. 6 for one system: cache accesses per 100 cycles
+// at the L1 data caches (aggregated over cores) and the shared L2,
+// broken into the paper's classes, under full 2D protection with port
+// stealing.
+func Fig6(cfg sim.SystemConfig, opt Options) []Table {
+	prot := sim.Protection{L1TwoD: true, L2TwoD: true, PortStealing: true}
+	l1t := Table{
+		ID:     "fig6-l1-" + cfg.Name,
+		Title:  fmt.Sprintf("Fig. 6: %s L1 data cache accesses / 100 cycles", cfg.Name),
+		Header: []string{"workload", "read:inst", "read:data", "write", "fill/evict", "extra read (2D)"},
+	}
+	l2t := Table{
+		ID:     "fig6-l2-" + cfg.Name,
+		Title:  fmt.Sprintf("Fig. 6: %s L2 cache accesses / 100 cycles", cfg.Name),
+		Header: []string{"workload", "read:inst", "read:data", "write", "fill/evict", "extra read (2D)"},
+	}
+	for _, prof := range workload.Profiles() {
+		l1, l2, err := sim.AccessBreakdown(cfg, prot, prof, opt.Seed, opt.Warmup, opt.Measure)
+		if err != nil {
+			panic(fmt.Sprintf("fig6 %s: %v", prof.Name, err))
+		}
+		l1t.Rows = append(l1t.Rows, []string{prof.Name, f1(l1[0]), f1(l1[1]), f1(l1[2]), f1(l1[3]), f1(l1[4])})
+		l2t.Rows = append(l2t.Rows, []string{prof.Name, f1(l2[0]), f1(l2[1]), f1(l2[2]), f1(l2[3]), f1(l2[4])})
+	}
+	return []Table{l1t, l2t}
+}

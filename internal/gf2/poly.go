@@ -1,0 +1,257 @@
+package gf2
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Poly is a polynomial over GF(2), stored as packed coefficient bits:
+// bit i of the word slice is the coefficient of x^i. The zero polynomial
+// is represented by an empty or all-zero slice.
+type Poly struct {
+	w []uint64
+}
+
+// PolyFromBits creates a polynomial with the given coefficient mask
+// (bit i of mask = coefficient of x^i).
+func PolyFromBits(mask uint64) Poly {
+	return Poly{w: []uint64{mask}}.norm()
+}
+
+// PolyOne returns the constant polynomial 1.
+func PolyOne() Poly { return PolyFromBits(1) }
+
+// PolyX returns the monomial x^k.
+func PolyX(k int) Poly {
+	p := Poly{w: make([]uint64, k/64+1)}
+	p.w[k/64] = 1 << uint(k%64)
+	return p
+}
+
+func (p Poly) norm() Poly {
+	n := len(p.w)
+	for n > 0 && p.w[n-1] == 0 {
+		n--
+	}
+	return Poly{w: p.w[:n]}
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.norm().w) == 0 }
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	q := p.norm()
+	if len(q.w) == 0 {
+		return -1
+	}
+	top := q.w[len(q.w)-1]
+	return (len(q.w)-1)*64 + 63 - bits.LeadingZeros64(top)
+}
+
+// Coeff returns the coefficient of x^i (0 or 1).
+func (p Poly) Coeff(i int) int {
+	if i < 0 || i/64 >= len(p.w) {
+		return 0
+	}
+	return int(p.w[i/64]>>uint(i%64)) & 1
+}
+
+// setCoeff returns p with the coefficient of x^i XOR-ed with 1.
+func (p Poly) flipCoeff(i int) Poly {
+	need := i/64 + 1
+	w := make([]uint64, max(need, len(p.w)))
+	copy(w, p.w)
+	w[i/64] ^= 1 << uint(i%64)
+	return Poly{w: w}.norm()
+}
+
+// Add returns p + q (XOR of coefficients).
+func (p Poly) Add(q Poly) Poly {
+	n := max(len(p.w), len(q.w))
+	w := make([]uint64, n)
+	copy(w, p.w)
+	for i, x := range q.w {
+		w[i] ^= x
+	}
+	return Poly{w: w}.norm()
+}
+
+// Mul returns the product p*q over GF(2).
+func (p Poly) Mul(q Poly) Poly {
+	p, q = p.norm(), q.norm()
+	if len(p.w) == 0 || len(q.w) == 0 {
+		return Poly{}
+	}
+	out := Poly{w: make([]uint64, len(p.w)+len(q.w))}
+	for i := 0; i <= p.Degree(); i++ {
+		if p.Coeff(i) == 1 {
+			out = out.addShifted(q, i)
+		}
+	}
+	return out.norm()
+}
+
+func (p Poly) addShifted(q Poly, shift int) Poly {
+	deg := q.Degree()
+	need := (deg+shift)/64 + 1
+	w := make([]uint64, max(need, len(p.w)))
+	copy(w, p.w)
+	wordShift, bitShift := shift/64, uint(shift%64)
+	for i, x := range q.w {
+		if x == 0 {
+			continue
+		}
+		w[i+wordShift] ^= x << bitShift
+		if bitShift != 0 && i+wordShift+1 < len(w) {
+			w[i+wordShift+1] ^= x >> (64 - bitShift)
+		}
+	}
+	return Poly{w: w}
+}
+
+// Mod returns p mod q. It panics if q is zero.
+func (p Poly) Mod(q Poly) Poly {
+	q = q.norm()
+	if q.IsZero() {
+		panic("gf2: polynomial modulo by zero")
+	}
+	r := Poly{w: append([]uint64(nil), p.w...)}.norm()
+	dq := q.Degree()
+	for {
+		dr := r.Degree()
+		if dr < dq {
+			return r
+		}
+		r = r.addShifted(q, dr-dq).norm()
+	}
+}
+
+// DivMod returns the quotient and remainder of p / q.
+func (p Poly) DivMod(q Poly) (quot, rem Poly) {
+	q = q.norm()
+	if q.IsZero() {
+		panic("gf2: polynomial division by zero")
+	}
+	rem = Poly{w: append([]uint64(nil), p.w...)}.norm()
+	quot = Poly{}
+	dq := q.Degree()
+	for {
+		dr := rem.Degree()
+		if dr < dq {
+			return quot, rem
+		}
+		quot = quot.flipCoeff(dr - dq)
+		rem = rem.addShifted(q, dr-dq).norm()
+	}
+}
+
+// Equal reports whether p and q are the same polynomial.
+func (p Poly) Equal(q Poly) bool {
+	a, b := p.norm(), q.norm()
+	if len(a.w) != len(b.w) {
+		return false
+	}
+	for i := range a.w {
+		if a.w[i] != b.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the polynomial in conventional form, e.g. "x^3+x+1".
+func (p Poly) String() string {
+	d := p.Degree()
+	if d < 0 {
+		return "0"
+	}
+	var terms []string
+	for i := d; i >= 0; i-- {
+		if p.Coeff(i) == 1 {
+			switch i {
+			case 0:
+				terms = append(terms, "1")
+			case 1:
+				terms = append(terms, "x")
+			default:
+				terms = append(terms, "x^"+itoa(i))
+			}
+		}
+	}
+	return strings.Join(terms, "+")
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}
+
+// MinimalPoly returns the minimal polynomial over GF(2) of alpha^i in f:
+// the product of (x - alpha^(i*2^j)) over the cyclotomic coset of i.
+func MinimalPoly(f *Field, i int) Poly {
+	n := f.N()
+	i %= n
+	// Collect the cyclotomic coset {i, 2i, 4i, ...} mod n.
+	coset := []int{}
+	seen := map[int]bool{}
+	for j := i; !seen[j]; j = (2 * j) % n {
+		seen[j] = true
+		coset = append(coset, j)
+	}
+	// Multiply out prod (x + alpha^j) using GF(2^m) coefficients, then
+	// verify the result has binary coefficients (it must, by theory).
+	coeffs := []uint16{1} // coeffs[k] multiplies x^k; start with poly "1"
+	for _, j := range coset {
+		root := f.Exp(j)
+		next := make([]uint16, len(coeffs)+1)
+		for k, c := range coeffs {
+			next[k+1] ^= c            // x * c x^k
+			next[k] ^= f.Mul(c, root) // root * c x^k
+		}
+		coeffs = next
+	}
+	p := Poly{}
+	for k, c := range coeffs {
+		switch c {
+		case 0:
+		case 1:
+			p = p.flipCoeff(k)
+		default:
+			panic("gf2: minimal polynomial has non-binary coefficient")
+		}
+	}
+	return p
+}
+
+// Lcm returns the least common multiple of p and q over GF(2).
+func Lcm(p, q Poly) Poly {
+	g := Gcd(p, q)
+	quot, _ := p.DivMod(g)
+	return quot.Mul(q)
+}
+
+// Gcd returns the greatest common divisor of p and q over GF(2).
+func Gcd(p, q Poly) Poly {
+	a, b := p.norm(), q.norm()
+	for !b.IsZero() {
+		a, b = b, a.Mod(b)
+	}
+	return a
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,479 @@
+// Package pcache assembles the 2D-coded arrays into a complete,
+// functional, set-associative cache: real data bytes live in
+// twod-protected data sub-arrays, and the tag/state store lives in a
+// twod-protected tag sub-array — "cache tag sub-arrays are handled
+// identically" (§4). The cache serves loads and stores against a
+// backing memory, write-back write-allocate, while arbitrary bit
+// errors injected into any of its arrays are detected by the
+// horizontal codes and repaired by 2D recovery, transparently to the
+// caller. This is the end-to-end artefact a downstream user adopts:
+// not a codec, a cache.
+package pcache
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"twodcache/internal/bitvec"
+	"twodcache/internal/ecc"
+	"twodcache/internal/twod"
+)
+
+// Config sizes the protected cache.
+type Config struct {
+	// Sets and Ways define the organisation; LineBytes the block size
+	// (must be a multiple of 8, power of two).
+	Sets, Ways, LineBytes int
+	// VerticalGroups is V for every sub-array (default 32).
+	VerticalGroups int
+	// SECDEDHorizontal selects in-line single-bit correction (yield
+	// configuration) instead of EDC8 detection-only horizontal codes.
+	SECDEDHorizontal bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("pcache: sets %d not a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("pcache: ways %d", c.Ways)
+	}
+	if c.LineBytes <= 0 || c.LineBytes%8 != 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("pcache: line bytes %d must be a power-of-two multiple of 8", c.LineBytes)
+	}
+	if c.VerticalGroups < 0 {
+		return fmt.Errorf("pcache: negative vertical groups")
+	}
+	return nil
+}
+
+// Backing is the next level of the hierarchy: line-granular load/store.
+type Backing interface {
+	// ReadLine returns LineBytes bytes at the line-aligned address.
+	ReadLine(addr uint64) []byte
+	// WriteLine stores LineBytes bytes at the line-aligned address.
+	WriteLine(addr uint64, data []byte)
+}
+
+// MapBacking is a simple in-memory Backing.
+type MapBacking struct {
+	lineBytes int
+	m         map[uint64][]byte
+}
+
+// NewMapBacking builds an empty backing store.
+func NewMapBacking(lineBytes int) *MapBacking {
+	return &MapBacking{lineBytes: lineBytes, m: map[uint64][]byte{}}
+}
+
+// ReadLine returns the stored line (zeroes if never written).
+func (b *MapBacking) ReadLine(addr uint64) []byte {
+	if d, ok := b.m[addr]; ok {
+		out := make([]byte, b.lineBytes)
+		copy(out, d)
+		return out
+	}
+	return make([]byte, b.lineBytes)
+}
+
+// WriteLine stores a line.
+func (b *MapBacking) WriteLine(addr uint64, data []byte) {
+	d := make([]byte, b.lineBytes)
+	copy(d, data)
+	b.m[addr] = d
+}
+
+// ErrUncorrectable reports an error footprint beyond the 2D coverage —
+// the software-visible machine-check. The affected line's contents are
+// untrustworthy; callers recover with Repair (refetch from backing,
+// losing unwritten dirty data) as an OS would.
+var ErrUncorrectable = errors.New("pcache: uncorrectable error (exceeds 2D coverage)")
+
+// Stats counts cache-level events.
+type Stats struct {
+	// Hits and Misses count accesses by outcome.
+	Hits, Misses uint64
+	// Writebacks counts dirty lines written to the backing store.
+	Writebacks uint64
+	// ErrorsRecovered counts reads/writes that needed 2D recovery or
+	// in-line correction anywhere in the arrays.
+	ErrorsRecovered uint64
+	// Uncorrectable counts machine-check events (ErrUncorrectable).
+	Uncorrectable uint64
+}
+
+// Cache is the protected cache. One twod array holds all data lines
+// (each 64-bit word of a line is one protected word); a second twod
+// array holds the tag/state words.
+type Cache struct {
+	cfg     Config
+	backing Backing
+
+	data *twod.Array // rows = sets*ways, wordsPerRow = lineBytes/8
+	tags *twod.Array // rows = sets, wordsPerRow = ways
+
+	lineShift uint
+	setMask   uint64
+	lru       [][]uint64 // [set][way] last-touch stamps
+	stamp     uint64
+
+	stats Stats
+}
+
+// tag word layout (64 bits): [0] valid, [1] dirty, [2..63] tag bits.
+const (
+	tagValidBit = uint64(1) << 0
+	tagDirtyBit = uint64(1) << 1
+	tagShift    = 2
+)
+
+// New builds an empty protected cache over the backing store.
+func New(cfg Config, backing Backing) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if backing == nil {
+		return nil, fmt.Errorf("pcache: nil backing store")
+	}
+	v := cfg.VerticalGroups
+	if v == 0 {
+		v = 32
+	}
+	mkArray := func(rows, wordsPerRow int) (*twod.Array, error) {
+		var h ecc.HorizontalCode
+		var err error
+		if cfg.SECDEDHorizontal {
+			h, err = ecc.NewSECDED(64)
+		} else {
+			h, err = ecc.NewEDC(64, 8)
+		}
+		if err != nil {
+			return nil, err
+		}
+		groups := v
+		if groups > rows {
+			groups = rows
+		}
+		return twod.NewArray(twod.Config{
+			Rows:           rows,
+			WordsPerRow:    wordsPerRow,
+			Horizontal:     h,
+			VerticalGroups: groups,
+		})
+	}
+	data, err := mkArray(cfg.Sets*cfg.Ways, cfg.LineBytes/8)
+	if err != nil {
+		return nil, err
+	}
+	tags, err := mkArray(cfg.Sets, cfg.Ways)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:       cfg,
+		backing:   backing,
+		data:      data,
+		tags:      tags,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(cfg.Sets - 1),
+		lru:       make([][]uint64, cfg.Sets),
+	}
+	for i := range c.lru {
+		c.lru[i] = make([]uint64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew panics on error.
+func MustNew(cfg Config, backing Backing) *Cache {
+	c, err := New(cfg, backing)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// DataArray exposes the protected data array for fault injection.
+func (c *Cache) DataArray() *twod.Array { return c.data }
+
+// TagArray exposes the protected tag array for fault injection.
+func (c *Cache) TagArray() *twod.Array { return c.tags }
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+func (c *Cache) setOf(line uint64) int       { return int(line & c.setMask) }
+func (c *Cache) tagOf(line uint64) uint64    { return line >> bits.TrailingZeros64(c.setMask+1) }
+
+// readTag fetches the tag word for (set, way) through the protected
+// array, counting recoveries.
+func (c *Cache) readTag(set, way int) (uint64, error) {
+	w, st := c.tags.Read(set, way)
+	if err := c.note(st); err != nil {
+		return 0, err
+	}
+	return w.Uint64(), nil
+}
+
+func (c *Cache) writeTag(set, way int, v uint64) error {
+	st := c.tags.Write(set, way, bitvec.FromUint64(v, 64))
+	return c.note(st)
+}
+
+// note records an access outcome. An uncorrectable error — a footprint
+// beyond the 2D coverage, typically from letting errors accumulate
+// without scrubbing — surfaces as ErrUncorrectable, the
+// machine-check-exception equivalent. Deployments bound accumulation by
+// calling Scrub periodically (see internal/scrub for the interval
+// analysis) and recover with Repair.
+func (c *Cache) note(st twod.ReadStatus) error {
+	if st == twod.ReadRecovered || st == twod.ReadCorrectedInline {
+		c.stats.ErrorsRecovered++
+	}
+	if st == twod.ReadUncorrectable {
+		c.stats.Uncorrectable++
+		return ErrUncorrectable
+	}
+	return nil
+}
+
+// lookup returns the hitting way, or -1.
+func (c *Cache) lookup(set int, tag uint64) (int, error) {
+	for way := 0; way < c.cfg.Ways; way++ {
+		t, err := c.readTag(set, way)
+		if err != nil {
+			return -1, err
+		}
+		if t&tagValidBit != 0 && t>>tagShift == tag {
+			return way, nil
+		}
+	}
+	return -1, nil
+}
+
+// victim picks an invalid or LRU way.
+func (c *Cache) victim(set int) (int, error) {
+	best, bestStamp := 0, ^uint64(0)
+	for way := 0; way < c.cfg.Ways; way++ {
+		t, err := c.readTag(set, way)
+		if err != nil {
+			return 0, err
+		}
+		if t&tagValidBit == 0 {
+			return way, nil
+		}
+		if c.lru[set][way] < bestStamp {
+			best, bestStamp = way, c.lru[set][way]
+		}
+	}
+	return best, nil
+}
+
+// dataRow maps (set, way) to the data array row.
+func (c *Cache) dataRow(set, way int) int { return set*c.cfg.Ways + way }
+
+// readLineWords fetches a full line from the data array.
+func (c *Cache) readLineWords(set, way int) ([]byte, error) {
+	out := make([]byte, c.cfg.LineBytes)
+	row := c.dataRow(set, way)
+	for w := 0; w < c.cfg.LineBytes/8; w++ {
+		word, st := c.data.Read(row, w)
+		if err := c.note(st); err != nil {
+			return nil, err
+		}
+		v := word.Uint64()
+		for b := 0; b < 8; b++ {
+			out[w*8+b] = byte(v >> (8 * uint(b)))
+		}
+	}
+	return out, nil
+}
+
+// writeLineWords stores a full line into the data array.
+func (c *Cache) writeLineWords(set, way int, data []byte) error {
+	row := c.dataRow(set, way)
+	for w := 0; w < c.cfg.LineBytes/8; w++ {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(data[w*8+b]) << (8 * uint(b))
+		}
+		st := c.data.Write(row, w, bitvec.FromUint64(v, 64))
+		if err := c.note(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fill brings the line into (set, way), evicting as needed.
+func (c *Cache) fill(line uint64) (set, way int, err error) {
+	set = c.setOf(line)
+	way, err = c.victim(set)
+	if err != nil {
+		return 0, 0, err
+	}
+	old, err := c.readTag(set, way)
+	if err != nil {
+		return 0, 0, err
+	}
+	if old&tagValidBit != 0 && old&tagDirtyBit != 0 {
+		oldLine := old>>tagShift<<bits.TrailingZeros64(c.setMask+1) | uint64(set)
+		victim, err := c.readLineWords(set, way)
+		if err != nil {
+			return 0, 0, err
+		}
+		c.backing.WriteLine(oldLine<<c.lineShift, victim)
+		c.stats.Writebacks++
+	}
+	if err := c.writeLineWords(set, way, c.backing.ReadLine(line<<c.lineShift)); err != nil {
+		return 0, 0, err
+	}
+	if err := c.writeTag(set, way, tagValidBit|c.tagOf(line)<<tagShift); err != nil {
+		return 0, 0, err
+	}
+	return set, way, nil
+}
+
+// access returns (set, way) for the line, filling on a miss.
+func (c *Cache) access(addr uint64) (int, int, error) {
+	line := c.lineAddr(addr)
+	set := c.setOf(line)
+	way, err := c.lookup(set, c.tagOf(line))
+	if err != nil {
+		return 0, 0, err
+	}
+	if way >= 0 {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+		set, way, err = c.fill(line)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	c.stamp++
+	c.lru[set][way] = c.stamp
+	return set, way, nil
+}
+
+// Read returns n bytes at addr (must not cross a line boundary). An
+// ErrUncorrectable means the 2D coverage was exceeded (machine check);
+// recover with Repair.
+func (c *Cache) Read(addr uint64, n int) ([]byte, error) {
+	if err := c.checkSpan(addr, n); err != nil {
+		return nil, err
+	}
+	set, way, err := c.access(addr)
+	if err != nil {
+		return nil, err
+	}
+	line, err := c.readLineWords(set, way)
+	if err != nil {
+		return nil, err
+	}
+	off := int(addr) & (c.cfg.LineBytes - 1)
+	out := make([]byte, n)
+	copy(out, line[off:off+n])
+	return out, nil
+}
+
+// Write stores bytes at addr (must not cross a line boundary),
+// write-back: the line is marked dirty in the protected tag store.
+func (c *Cache) Write(addr uint64, data []byte) error {
+	if err := c.checkSpan(addr, len(data)); err != nil {
+		return err
+	}
+	set, way, err := c.access(addr)
+	if err != nil {
+		return err
+	}
+	lineBytes, err := c.readLineWords(set, way)
+	if err != nil {
+		return err
+	}
+	off := int(addr) & (c.cfg.LineBytes - 1)
+	copy(lineBytes[off:], data)
+	if err := c.writeLineWords(set, way, lineBytes); err != nil {
+		return err
+	}
+	line := c.lineAddr(addr)
+	return c.writeTag(set, way, tagValidBit|tagDirtyBit|c.tagOf(line)<<tagShift)
+}
+
+// Flush writes every dirty line back to the backing store.
+func (c *Cache) Flush() error {
+	for set := 0; set < c.cfg.Sets; set++ {
+		for way := 0; way < c.cfg.Ways; way++ {
+			t, err := c.readTag(set, way)
+			if err != nil {
+				return err
+			}
+			if t&tagValidBit != 0 && t&tagDirtyBit != 0 {
+				line := t>>tagShift<<bits.TrailingZeros64(c.setMask+1) | uint64(set)
+				data, err := c.readLineWords(set, way)
+				if err != nil {
+					return err
+				}
+				c.backing.WriteLine(line<<c.lineShift, data)
+				if err := c.writeTag(set, way, t&^tagDirtyBit); err != nil {
+					return err
+				}
+				c.stats.Writebacks++
+			}
+		}
+	}
+	return nil
+}
+
+// Repair recovers from ErrUncorrectable the way an OS handles a cache
+// machine check: every line in the address's set is force-reloaded
+// from the backing store (dirty contents of that set are lost — the
+// detected-but-uncorrectable outcome) and the arrays' parity state is
+// rebuilt.
+func (c *Cache) Repair(addr uint64) {
+	line := c.lineAddr(addr)
+	set := c.setOf(line)
+	for way := 0; way < c.cfg.Ways; way++ {
+		row := c.dataRow(set, way)
+		fresh := c.backing.ReadLine(line << c.lineShift)
+		for w := 0; w < c.cfg.LineBytes/8; w++ {
+			var v uint64
+			for b := 0; b < 8; b++ {
+				v |= uint64(fresh[w*8+b]) << (8 * uint(b))
+			}
+			c.data.ForceWrite(row, w, bitvec.FromUint64(v, 64))
+		}
+		// Invalidate the way; the next access refetches cleanly.
+		c.tags.ForceWrite(set, way, bitvec.FromUint64(0, 64))
+	}
+}
+
+// Scrub proactively runs 2D recovery over both arrays (a scrubbing
+// pass), returning whether everything is consistent.
+func (c *Cache) Scrub() bool {
+	return c.data.Recover().Success && c.tags.Recover().Success
+}
+
+func (c *Cache) checkSpan(addr uint64, n int) error {
+	if n <= 0 || n > c.cfg.LineBytes {
+		return fmt.Errorf("pcache: access size %d out of (0,%d]", n, c.cfg.LineBytes)
+	}
+	off := int(addr) & (c.cfg.LineBytes - 1)
+	if off+n > c.cfg.LineBytes {
+		return fmt.Errorf("pcache: access at %#x size %d crosses a line boundary", addr, n)
+	}
+	return nil
+}
+
+// RepairAll is the whole-cache machine-check handler: every set is
+// force-reloaded from the backing store (all unflushed dirty data is
+// lost) and both arrays return to a consistent state. Used when a
+// scrub pass itself reports uncorrectable damage.
+func (c *Cache) RepairAll() {
+	for set := 0; set < c.cfg.Sets; set++ {
+		c.Repair(uint64(set) << c.lineShift)
+	}
+}

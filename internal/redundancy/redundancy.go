@@ -1,0 +1,241 @@
+// Package redundancy implements the conventional hardware-redundancy
+// repair the paper compares against (§2.3): spare rows and spare
+// columns that remap faulty addresses at manufacture time or in the
+// field (BISR). It includes the classical repair-allocation analysis —
+// must-repair reduction followed by greedy cover — and a repair planner
+// that can also delegate single-bit faults to an in-line ECC, the
+// paper's synergistic configuration (Stapper & Lee, ref [46]).
+package redundancy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fault is one defective cell in array coordinates.
+type Fault struct {
+	Row, Col int
+}
+
+// Plan is the outcome of repair allocation.
+type Plan struct {
+	// RepairRows and RepairCols are the lines chosen for replacement.
+	RepairRows, RepairCols []int
+	// ECCAbsorbed counts faults left to the in-line ECC (at most one
+	// per word) rather than repaired with a spare.
+	ECCAbsorbed int
+	// Repairable reports whether every fault is covered.
+	Repairable bool
+	// Uncovered lists faults left unprotected when not repairable.
+	Uncovered []Fault
+}
+
+// Config describes the repair resources of one array.
+type Config struct {
+	// Rows and Cols give the array dimensions in cells.
+	Rows, Cols int
+	// SpareRows and SpareCols are the replacement lines available.
+	SpareRows, SpareCols int
+	// WordBits partitions each row into ECC words when ECCSingleBit is
+	// set; a word can absorb at most one fault.
+	WordBits int
+	// ECCSingleBit lets an in-line SECDED absorb one fault per word,
+	// the paper's yield-enhancement configuration (§5.2).
+	ECCSingleBit bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("redundancy: invalid dimensions %dx%d", c.Rows, c.Cols)
+	}
+	if c.SpareRows < 0 || c.SpareCols < 0 {
+		return fmt.Errorf("redundancy: negative spares")
+	}
+	if c.ECCSingleBit {
+		if c.WordBits <= 0 || c.Cols%c.WordBits != 0 {
+			return fmt.Errorf("redundancy: cols %d not divisible into %d-bit words", c.Cols, c.WordBits)
+		}
+	}
+	return nil
+}
+
+// Allocate plans spare usage for the given fault map. The algorithm is
+// the standard two-phase repair-allocation heuristic:
+//
+//  1. must-repair: a row with more faults than (spare columns + what
+//     ECC can absorb) must take a spare row, and symmetrically for
+//     columns;
+//  2. greedy cover for the sparse remainder, preferring the line that
+//     covers the most remaining faults;
+//  3. with ECCSingleBit, leftover faults that are alone in their word
+//     are absorbed by the ECC instead of consuming spares.
+//
+// Exact minimal allocation is NP-complete; this heuristic matches what
+// production BISR controllers implement.
+func Allocate(cfg Config, faults []Fault) (Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return Plan{}, err
+	}
+	for _, f := range faults {
+		if f.Row < 0 || f.Row >= cfg.Rows || f.Col < 0 || f.Col >= cfg.Cols {
+			return Plan{}, fmt.Errorf("redundancy: fault %+v out of bounds", f)
+		}
+	}
+	plan := Plan{Repairable: true}
+	live := dedupe(faults)
+
+	usedRows := map[int]bool{}
+	usedCols := map[int]bool{}
+
+	// Phase 1: must-repair. Iterate because each allocation can create
+	// new must-repair conditions as budgets shrink.
+	for {
+		progressed := false
+		rowCount, colCount := tally(live)
+		sparesColsLeft := cfg.SpareCols - len(usedCols)
+		sparesRowsLeft := cfg.SpareRows - len(usedRows)
+		for r, n := range rowCount {
+			// Column spares plus (with ECC) one absorbed fault per word
+			// cannot cover n faults in this row => the row must go.
+			cap := sparesColsLeft
+			if cfg.ECCSingleBit {
+				cap += cfg.Cols / cfg.WordBits
+			}
+			if n > cap && sparesRowsLeft > 0 && !usedRows[r] {
+				usedRows[r] = true
+				sparesRowsLeft--
+				live = dropRow(live, r)
+				progressed = true
+			}
+		}
+		for c, n := range colCount {
+			cap := sparesRowsLeft
+			if cfg.ECCSingleBit {
+				cap += cfg.Rows // each row's word holding col c absorbs one
+			}
+			if n > cap && cfg.SpareCols-len(usedCols) > 0 && !usedCols[c] {
+				usedCols[c] = true
+				live = dropCol(live, c)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Phase 2: ECC absorption — faults alone in their word are free.
+	if cfg.ECCSingleBit {
+		live, plan.ECCAbsorbed = absorbSingles(cfg, live)
+	}
+
+	// Phase 3: greedy cover with the remaining spares.
+	for len(live) > 0 {
+		rowCount, colCount := tally(live)
+		bestRow, bestRowN := -1, 0
+		for r, n := range rowCount {
+			if n > bestRowN && cfg.SpareRows-len(usedRows) > 0 {
+				bestRow, bestRowN = r, n
+			}
+		}
+		bestCol, bestColN := -1, 0
+		for c, n := range colCount {
+			if n > bestColN && cfg.SpareCols-len(usedCols) > 0 {
+				bestCol, bestColN = c, n
+			}
+		}
+		switch {
+		case bestRowN == 0 && bestColN == 0:
+			plan.Repairable = false
+			plan.Uncovered = live
+			live = nil
+		case bestRowN >= bestColN:
+			usedRows[bestRow] = true
+			live = dropRow(live, bestRow)
+		default:
+			usedCols[bestCol] = true
+			live = dropCol(live, bestCol)
+		}
+	}
+
+	plan.RepairRows = sortedKeys(usedRows)
+	plan.RepairCols = sortedKeys(usedCols)
+	return plan, nil
+}
+
+// absorbSingles removes faults that are the only fault in their ECC
+// word, returning the remainder and the absorbed count.
+func absorbSingles(cfg Config, faults []Fault) ([]Fault, int) {
+	perWord := map[[2]int][]Fault{}
+	for _, f := range faults {
+		key := [2]int{f.Row, f.Col / cfg.WordBits}
+		perWord[key] = append(perWord[key], f)
+	}
+	var rest []Fault
+	absorbed := 0
+	for _, fs := range perWord {
+		if len(fs) == 1 {
+			absorbed++
+			continue
+		}
+		rest = append(rest, fs...)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].Row != rest[j].Row {
+			return rest[i].Row < rest[j].Row
+		}
+		return rest[i].Col < rest[j].Col
+	})
+	return rest, absorbed
+}
+
+func dedupe(fs []Fault) []Fault {
+	seen := map[Fault]bool{}
+	var out []Fault
+	for _, f := range fs {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func tally(fs []Fault) (rows, cols map[int]int) {
+	rows, cols = map[int]int{}, map[int]int{}
+	for _, f := range fs {
+		rows[f.Row]++
+		cols[f.Col]++
+	}
+	return rows, cols
+}
+
+func dropRow(fs []Fault, r int) []Fault {
+	var out []Fault
+	for _, f := range fs {
+		if f.Row != r {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func dropCol(fs []Fault, c int) []Fault {
+	var out []Fault
+	for _, f := range fs {
+		if f.Col != c {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

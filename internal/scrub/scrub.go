@@ -1,0 +1,176 @@
+// Package scrub models periodic scrubbing (§2.1 of the paper): a
+// background process that sweeps the array, checks every word, and
+// repairs what it finds. Scrubbing bounds the *accumulation* of soft
+// errors between passes — two upsets that individually fit the 2D
+// coverage can combine into an uncorrectable footprint if left to
+// accumulate. The package quantifies the paper's remark that scrubbing
+// alone "has lower error coverage than checking ECC on every read" and
+// gives the uncorrectable-accumulation probability as a function of the
+// scrub interval.
+package scrub
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"twodcache/internal/ecc"
+	"twodcache/internal/fault"
+	"twodcache/internal/stats"
+	"twodcache/internal/twod"
+)
+
+// Model parameterises the accumulation study for one protected bank.
+type Model struct {
+	// Rows and WordsPerRow give the bank geometry.
+	Rows, WordsPerRow int
+	// Horizontal names the horizontal code ("EDC8" or "SECDED", 64-bit
+	// words).
+	Horizontal string
+	// VerticalGroups is V.
+	VerticalGroups int
+	// FITPerMb is the soft-error rate.
+	FITPerMb float64
+	// Dist is the upset footprint distribution.
+	Dist fault.EventSizeDist
+}
+
+// DefaultModel returns the paper-configuration bank under a modern
+// upset mix.
+func DefaultModel() Model {
+	return Model{
+		Rows: 256, WordsPerRow: 4,
+		Horizontal:     "EDC8",
+		VerticalGroups: 32,
+		FITPerMb:       1000,
+		Dist:           fault.ModernDist(),
+	}
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if m.Rows <= 0 || m.WordsPerRow <= 0 || m.VerticalGroups <= 0 {
+		return fmt.Errorf("scrub: invalid geometry %+v", m)
+	}
+	if m.FITPerMb < 0 {
+		return fmt.Errorf("scrub: negative FIT rate")
+	}
+	if m.Horizontal != "EDC8" && m.Horizontal != "SECDED" {
+		return fmt.Errorf("scrub: unsupported horizontal code %q", m.Horizontal)
+	}
+	return m.Dist.Validate()
+}
+
+func (m Model) newArray() *twod.Array {
+	var h ecc.HorizontalCode
+	if m.Horizontal == "SECDED" {
+		h = ecc.MustSECDED(64)
+	} else {
+		h = ecc.MustEDC(64, 8)
+	}
+	return twod.MustArray(twod.Config{
+		Rows:           m.Rows,
+		WordsPerRow:    m.WordsPerRow,
+		Horizontal:     h,
+		VerticalGroups: m.VerticalGroups,
+	})
+}
+
+// bankBits is the physical cell count of the bank.
+func (m Model) bankBits() int {
+	a := m.newArray()
+	return a.Rows() * a.RowBits()
+}
+
+// EventRatePerHour returns the soft-error event arrival rate of the
+// bank.
+func (m Model) EventRatePerHour() float64 {
+	return fault.FITRate(m.FITPerMb, m.bankBits())
+}
+
+// FailureGivenEvents estimates, by direct injection into a fresh 2D
+// array, the probability that k accumulated upset events defeat
+// recovery. Correction of linear codes is data-independent, so the
+// array is left zero-filled (fast) without loss of generality.
+func (m Model) FailureGivenEvents(rng *rand.Rand, k, trials int) float64 {
+	if trials <= 0 || k <= 0 {
+		return 0
+	}
+	fails := 0
+	for t := 0; t < trials; t++ {
+		a := m.newArray()
+		for e := 0; e < k; e++ {
+			fault.Apply(a, fault.SoftEvent(rng, a.Rows(), a.RowBits(), m.Dist))
+		}
+		if rep := a.Recover(); !rep.Success {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials)
+}
+
+// Report is the accumulation analysis for one scrub interval.
+type Report struct {
+	// IntervalHours is the scrub period analysed.
+	IntervalHours float64
+	// EventsPerInterval is the expected upset count per interval.
+	EventsPerInterval float64
+	// PFailPerInterval is the per-interval uncorrectable probability.
+	PFailPerInterval float64
+	// PFailPerYear is 1-(1-PFailPerInterval)^(intervals/year).
+	PFailPerYear float64
+}
+
+// Analyze computes the uncorrectable-accumulation probability for a
+// scrub interval: the per-interval failure probability is the Poisson
+// mixture over event counts k of the measured P(fail | k events), for
+// k up to maxK (contributions beyond are bounded by the residual tail
+// and added conservatively).
+func (m Model) Analyze(rng *rand.Rand, intervalHours float64, trials, maxK int) (Report, error) {
+	if err := m.Validate(); err != nil {
+		return Report{}, err
+	}
+	if intervalHours <= 0 {
+		return Report{}, fmt.Errorf("scrub: non-positive interval")
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	lambda := m.EventRatePerHour() * intervalHours
+	pInt := 0.0
+	cdf := 0.0
+	for k := 0; k <= maxK; k++ {
+		pk := stats.PoissonPMF(lambda, k)
+		cdf += pk
+		if k == 0 {
+			continue
+		}
+		pInt += pk * m.FailureGivenEvents(rng, k, trials)
+	}
+	// Tail: assume failure for any count beyond maxK (conservative).
+	pInt += 1 - cdf
+	if pInt < 0 {
+		pInt = 0
+	}
+	intervalsPerYear := stats.HoursPerYear / intervalHours
+	pYear := 1 - math.Pow(1-pInt, intervalsPerYear)
+	return Report{
+		IntervalHours:     intervalHours,
+		EventsPerInterval: lambda,
+		PFailPerInterval:  pInt,
+		PFailPerYear:      pYear,
+	}, nil
+}
+
+// Sweep analyses several scrub intervals.
+func (m Model) Sweep(rng *rand.Rand, intervalsHours []float64, trials, maxK int) ([]Report, error) {
+	var out []Report
+	for _, h := range intervalsHours {
+		r, err := m.Analyze(rng, h, trials, maxK)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

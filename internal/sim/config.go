@@ -1,0 +1,189 @@
+// Package sim is the cycle-level chip-multiprocessor simulator used for
+// the paper's performance experiments (Fig. 5, Fig. 6): cores from
+// internal/cpu, private L1 data caches and a shared banked L2 from
+// internal/cache, a directory for dirty-in-L1 lines (Piranha-style
+// L1-to-L1 transfers), a fixed-latency memory, and the 2D-coding write
+// path — every write becomes a read-before-write, optionally hidden by
+// port stealing.
+//
+// This simulator substitutes for the paper's FLEXUS full-system
+// runs: it does not execute an ISA, but reproduces the traffic shape
+// (reads/writes/fills per cycle) and the contention mechanisms through
+// which 2D coding costs performance.
+package sim
+
+import (
+	"fmt"
+
+	"twodcache/internal/cache"
+)
+
+// SystemConfig describes one CMP baseline (Table 1).
+type SystemConfig struct {
+	// Name labels the system ("fat" or "lean").
+	Name string
+	// Cores is the number of CPU cores.
+	Cores int
+	// ThreadsPerCore is the hardware thread count (1 for the fat OoO).
+	ThreadsPerCore int
+	// Width is the superscalar issue width.
+	Width int
+	// Window is the fat core's reorder window (ignored for lean).
+	Window int
+	// SQSize is the store queue capacity.
+	SQSize int
+	// OoO selects the fat (true) or lean (false) core model.
+	OoO bool
+	// L1 is the per-core L1 data cache.
+	L1 cache.Config
+	// L2 is the shared cache.
+	L2 cache.Config
+	// L2Occupancy is how many cycles one operation occupies an L2 bank
+	// (banks are not fully pipelined); 2D-protected writes occupy the
+	// bank twice as long for the read-before-write.
+	L2Occupancy int
+	// CrossbarLat is the core-to-L2 interconnect latency in cycles.
+	CrossbarLat int
+	// MemLat is the memory access latency in cycles.
+	MemLat int
+}
+
+// Validate checks the configuration.
+func (c SystemConfig) Validate() error {
+	if c.Cores <= 0 || c.ThreadsPerCore <= 0 || c.Width <= 0 || c.SQSize <= 0 {
+		return fmt.Errorf("sim: invalid core parameters %+v", c)
+	}
+	if c.OoO && c.Window <= 0 {
+		return fmt.Errorf("sim: OoO core needs a window")
+	}
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("sim: L1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("sim: L2: %w", err)
+	}
+	if c.CrossbarLat < 0 || c.MemLat <= 0 || c.L2Occupancy <= 0 {
+		return fmt.Errorf("sim: invalid latencies %+v", c)
+	}
+	return nil
+}
+
+// FatConfig returns the paper's fat CMP baseline: four 4-wide OoO cores
+// at 4 GHz, 64 kB 2-way dual-ported write-back L1 D-caches with 2-cycle
+// hits, a 16 MB 8-way shared L2 with 16-cycle hits and a 1-cycle
+// crossbar, 64 MSHRs, and 60 ns (240-cycle) memory.
+func FatConfig() SystemConfig {
+	return SystemConfig{
+		Name:           "fat",
+		Cores:          4,
+		ThreadsPerCore: 1,
+		Width:          4,
+		Window:         64,
+		SQSize:         64,
+		OoO:            true,
+		L1: cache.Config{
+			Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2,
+			Banks: 1, PortsPerBank: 2, HitLatency: 2, MSHRs: 8,
+		},
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 16 << 20, LineBytes: 64, Assoc: 8,
+			Banks: 8, PortsPerBank: 1, HitLatency: 16, MSHRs: 64,
+		},
+		L2Occupancy: 4,
+		CrossbarLat: 1,
+		MemLat:      240,
+	}
+}
+
+// LeanConfig returns the paper's lean CMP baseline: eight 2-wide
+// in-order 4-thread cores, single-ported L1 D-caches, and a 4 MB 16-way
+// shared L2 with 12-cycle hits.
+func LeanConfig() SystemConfig {
+	return SystemConfig{
+		Name:           "lean",
+		Cores:          8,
+		ThreadsPerCore: 4,
+		Width:          2,
+		Window:         0,
+		SQSize:         64,
+		OoO:            false,
+		L1: cache.Config{
+			Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2,
+			Banks: 1, PortsPerBank: 1, HitLatency: 2, MSHRs: 8,
+		},
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 4 << 20, LineBytes: 64, Assoc: 16,
+			Banks: 8, PortsPerBank: 1, HitLatency: 12, MSHRs: 64,
+		},
+		L2Occupancy: 4,
+		CrossbarLat: 1,
+		MemLat:      240,
+	}
+}
+
+// Protection selects which caches carry 2D coding and how the L1 hides
+// the read-before-write.
+type Protection struct {
+	// L1TwoD converts every L1 data write (store retirement, line
+	// fill) into a read-before-write.
+	L1TwoD bool
+	// L2TwoD does the same for L2 writes (writebacks, fills).
+	L2TwoD bool
+	// PortStealing schedules the read half of L1 read-before-writes
+	// into idle port cycles instead of demanding a second slot.
+	PortStealing bool
+	// StealQueueDepth bounds the pending stolen reads; a full queue
+	// blocks further writes (rate matching, §4).
+	StealQueueDepth int
+	// WriteThroughL1 models the conventional alternative the paper
+	// argues against (§5.1): the L1 keeps only EDC and duplicates every
+	// store into the multi-bit-tolerant L2, never holding dirty data.
+	// Mutually exclusive with L1TwoD.
+	WriteThroughL1 bool
+	// ReplicationEntries models Zhang's replication cache (the paper's
+	// related work [54]): a small fully-associative buffer holding
+	// duplicates of recently-written L1 blocks. Stores allocate an
+	// entry; evicted duplicates are written through to the multi-bit
+	// tolerant L2. Zero disables it. Mutually exclusive with L1TwoD.
+	ReplicationEntries int
+	// ErrorEveryCycles injects one detected multi-bit error event per
+	// period into a random protected L1: the cache blocks for the 2D
+	// recovery latency (a BIST-march-scale scan, §4). Zero disables
+	// injection. Used to validate the paper's claim that rare errors
+	// leave performance unaffected.
+	ErrorEveryCycles uint64
+	// RecoveryLatencyCycles is how long a recovery blocks the struck
+	// L1; zero selects a default of rows*words scan reads (~2k cycles
+	// for the paper's bank, the "few hundred or thousand cycles" of §4).
+	RecoveryLatencyCycles uint64
+}
+
+// Baseline returns the unprotected configuration.
+func Baseline() Protection { return Protection{} }
+
+// String names the protection configuration.
+func (p Protection) String() string {
+	if p.ReplicationEntries > 0 {
+		return fmt.Sprintf("ReplCache-%d", p.ReplicationEntries)
+	}
+	if p.WriteThroughL1 {
+		if p.L2TwoD {
+			return "WT-L1+L2(2D)"
+		}
+		return "WT-L1"
+	}
+	switch {
+	case p.L1TwoD && p.L2TwoD && p.PortStealing:
+		return "L1(PS)+L2"
+	case p.L1TwoD && p.L2TwoD:
+		return "L1+L2"
+	case p.L1TwoD && p.PortStealing:
+		return "L1(PS)"
+	case p.L1TwoD:
+		return "L1"
+	case p.L2TwoD:
+		return "L2"
+	default:
+		return "baseline"
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"twodcache/internal/stats"
+	"twodcache/internal/workload"
+)
+
+// RunOne builds a simulator and executes one warmup+measure run.
+func RunOne(cfg SystemConfig, prot Protection, prof workload.Profile, seed int64, warmup, measure uint64) (Result, error) {
+	s, err := New(cfg, prot, prof, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(warmup, measure), nil
+}
+
+// LossReport is the matched-pair performance comparison behind Fig. 5.
+type LossReport struct {
+	// System, Workload and Protection identify the comparison.
+	System, Workload, Protection string
+	// MeanLossPct is the mean IPC loss relative to the unprotected
+	// baseline, in percent (positive = slower).
+	MeanLossPct float64
+	// CI95Pct is the 95% confidence half-width in percentage points.
+	CI95Pct float64
+	// Samples is the number of matched pairs.
+	Samples int
+	// BaselineIPC is the mean baseline IPC across samples.
+	BaselineIPC float64
+}
+
+// PerformanceLoss measures the IPC loss of a protection configuration
+// against the unprotected baseline using the paper's matched-pair
+// methodology: each sample runs both configurations on an identical
+// trace (same seed) and the relative deltas are averaged.
+func PerformanceLoss(cfg SystemConfig, prot Protection, prof workload.Profile, samples int, warmup, measure uint64) (LossReport, error) {
+	var mp stats.MatchedPair
+	var baseIPC stats.Sample
+	for i := 0; i < samples; i++ {
+		seed := int64(1000 + i*7919)
+		base, err := RunOne(cfg, Baseline(), prof, seed, warmup, measure)
+		if err != nil {
+			return LossReport{}, err
+		}
+		treat, err := RunOne(cfg, prot, prof, seed, warmup, measure)
+		if err != nil {
+			return LossReport{}, err
+		}
+		baseIPC.Add(base.IPC())
+		if err := mp.Add(base.IPC(), treat.IPC()); err != nil {
+			return LossReport{}, err
+		}
+	}
+	return LossReport{
+		System:      cfg.Name,
+		Workload:    prof.Name,
+		Protection:  prot.String(),
+		MeanLossPct: -mp.MeanDelta() * 100,
+		CI95Pct:     mp.CI95() * 100,
+		Samples:     mp.N(),
+		BaselineIPC: baseIPC.Mean(),
+	}, nil
+}
+
+// AccessBreakdown runs the fully-protected configuration and reports
+// cache accesses per 100 cycles per the Fig. 6 classes, for both cache
+// levels.
+func AccessBreakdown(cfg SystemConfig, prot Protection, prof workload.Profile, seed int64, warmup, measure uint64) (l1, l2 [5]float64, err error) {
+	r, err := RunOne(cfg, prot, prof, seed, warmup, measure)
+	if err != nil {
+		return l1, l2, err
+	}
+	per100 := func(x uint64) float64 { return float64(x) * 100 / float64(r.Cycles) }
+	l1 = [5]float64{per100(r.L1.ReadInst), per100(r.L1.ReadData), per100(r.L1.Write), per100(r.L1.FillEvict), per100(r.L1.ExtraRead)}
+	l2 = [5]float64{per100(r.L2.ReadInst), per100(r.L2.ReadData), per100(r.L2.Write), per100(r.L2.FillEvict), per100(r.L2.ExtraRead)}
+	return l1, l2, nil
+}

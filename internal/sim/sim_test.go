@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"testing"
+
+	"twodcache/internal/workload"
+)
+
+const (
+	testWarmup  = 30000
+	testMeasure = 20000
+)
+
+func prof(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []SystemConfig{FatConfig(), LeanConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+	bad := FatConfig()
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Fatal("cores=0 accepted")
+	}
+	bad = FatConfig()
+	bad.L2Occupancy = 0
+	if bad.Validate() == nil {
+		t.Fatal("occupancy=0 accepted")
+	}
+	bad = FatConfig()
+	bad.Window = 0
+	if bad.Validate() == nil {
+		t.Fatal("OoO without window accepted")
+	}
+}
+
+func TestProtectionNames(t *testing.T) {
+	cases := map[string]Protection{
+		"baseline":  {},
+		"L1":        {L1TwoD: true},
+		"L1(PS)":    {L1TwoD: true, PortStealing: true},
+		"L2":        {L2TwoD: true},
+		"L1+L2":     {L1TwoD: true, L2TwoD: true},
+		"L1(PS)+L2": {L1TwoD: true, L2TwoD: true, PortStealing: true},
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%+v = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestBaselineRunsAndCommits(t *testing.T) {
+	for _, cfg := range []SystemConfig{FatConfig(), LeanConfig()} {
+		r, err := RunOne(cfg, Baseline(), prof(t, "OLTP"), 1, testWarmup, testMeasure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Committed == 0 {
+			t.Fatalf("%s: nothing committed", cfg.Name)
+		}
+		ipc := r.IPC()
+		maxIPC := float64(cfg.Cores * cfg.Width)
+		if ipc <= 0 || ipc > maxIPC {
+			t.Fatalf("%s: IPC %v out of (0,%v]", cfg.Name, ipc, maxIPC)
+		}
+		if r.L1.ReadData == 0 || r.L1.Write == 0 || r.L1.FillEvict == 0 {
+			t.Fatalf("%s: empty L1 stats %+v", cfg.Name, r.L1)
+		}
+		if r.L2.Total() == 0 {
+			t.Fatalf("%s: no L2 traffic", cfg.Name)
+		}
+		if r.L1.ExtraRead > r.L1ToL1 {
+			t.Fatalf("%s: baseline has 2D extra reads: %+v", cfg.Name, r.L1)
+		}
+		if r.L2.ExtraRead != 0 {
+			t.Fatalf("%s: baseline has L2 extra reads", cfg.Name)
+		}
+	}
+}
+
+func TestMatchedPairDeterminism(t *testing.T) {
+	cfg := FatConfig()
+	a, err := RunOne(cfg, Baseline(), prof(t, "Web"), 5, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOne(cfg, Baseline(), prof(t, "Web"), 5, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Committed != b.Committed || a.L1 != b.L1 || a.L2 != b.L2 {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestTwoDAddsExtraReads(t *testing.T) {
+	cfg := LeanConfig()
+	r, err := RunOne(cfg, Protection{L1TwoD: true, L2TwoD: true, PortStealing: true},
+		prof(t, "OLTP"), 2, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1.ExtraRead == 0 || r.L2.ExtraRead == 0 {
+		t.Fatalf("2D produced no extra reads: L1=%+v L2=%+v", r.L1, r.L2)
+	}
+	// The paper reports ~20% more accesses from read-before-write:
+	// extra reads should be within (5%, 45%) of total L1 traffic.
+	frac := float64(r.L1.ExtraRead) / float64(r.L1.Total())
+	if frac < 0.05 || frac > 0.45 {
+		t.Fatalf("L1 extra-read fraction %v implausible", frac)
+	}
+	// Extra reads roughly track writes + fills.
+	if r.L1.ExtraRead > r.L1.Write+r.L1.FillEvict+r.L1ToL1+10 {
+		t.Fatalf("more extra reads (%d) than writes+fills (%d)",
+			r.L1.ExtraRead, r.L1.Write+r.L1.FillEvict)
+	}
+}
+
+func TestTwoDCostsPerformance(t *testing.T) {
+	// Without port stealing, L1 protection must cost measurable IPC on
+	// a warmed system; the loss must stay in the paper's "modest" range
+	// (< 15%). Averaged over samples because a single short window has
+	// ~0.5% timing noise.
+	for _, cfg := range []SystemConfig{FatConfig(), LeanConfig()} {
+		rep, err := PerformanceLoss(cfg, Protection{L1TwoD: true}, prof(t, "OLTP"),
+			2, 120000, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MeanLossPct <= 0.2 {
+			t.Fatalf("%s: L1 2D without port stealing shows no loss (%v%%)", cfg.Name, rep.MeanLossPct)
+		}
+		if rep.MeanLossPct > 15 {
+			t.Fatalf("%s: loss %v%% implausibly high", cfg.Name, rep.MeanLossPct)
+		}
+	}
+}
+
+func TestPortStealingReducesLoss(t *testing.T) {
+	cfg := FatConfig()
+	p := prof(t, "OLTP")
+	base, err := RunOne(cfg, Baseline(), p, 4, 120000, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPS, err := RunOne(cfg, Protection{L1TwoD: true}, p, 4, 120000, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := RunOne(cfg, Protection{L1TwoD: true, PortStealing: true}, p, 4, 120000, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossNoPS := base.IPC() - noPS.IPC()
+	lossPS := base.IPC() - ps.IPC()
+	if lossPS >= lossNoPS {
+		t.Fatalf("port stealing did not help: %v vs %v", lossPS, lossNoPS)
+	}
+}
+
+func TestPerformanceLossReport(t *testing.T) {
+	rep, err := PerformanceLoss(FatConfig(), Protection{L1TwoD: true}, prof(t, "Web"),
+		3, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 3 || rep.BaselineIPC <= 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.MeanLossPct < -1 || rep.MeanLossPct > 20 {
+		t.Fatalf("loss %v%% out of plausible range", rep.MeanLossPct)
+	}
+}
+
+func TestAccessBreakdown(t *testing.T) {
+	l1, l2, err := AccessBreakdown(LeanConfig(),
+		Protection{L1TwoD: true, L2TwoD: true, PortStealing: true},
+		prof(t, "OLTP"), 1, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range l1 {
+		if x < 0 {
+			t.Fatal("negative breakdown")
+		}
+		sum += x
+	}
+	if sum <= 0 {
+		t.Fatal("empty L1 breakdown")
+	}
+	if l2[0] <= 0 {
+		t.Fatal("no instruction reads at L2")
+	}
+	if l1[4] <= 0 || l2[4] <= 0 {
+		t.Fatal("no extra reads in protected breakdown")
+	}
+}
+
+func TestL1ToL1Transfers(t *testing.T) {
+	r, err := RunOne(FatConfig(), Baseline(), prof(t, "OLTP"), 2, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1ToL1 == 0 {
+		t.Fatal("no L1-to-L1 dirty transfers under a sharing workload")
+	}
+}
+
+func TestAllWorkloadsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, p := range workload.Profiles() {
+		r, err := RunOne(LeanConfig(), Protection{L1TwoD: true, L2TwoD: true, PortStealing: true},
+			p, 1, 10000, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if r.Committed == 0 {
+			t.Fatalf("%s: nothing committed", p.Name)
+		}
+	}
+}
+
+func TestNoResourceLeaks(t *testing.T) {
+	// After a long run, in-flight state must stay bounded: completion
+	// tokens are consumed, L2 queues drain, MSHRs turn over.
+	for _, prot := range []Protection{{}, {L1TwoD: true, L2TwoD: true, PortStealing: true}} {
+		s, err := New(FatConfig(), prot, prof(t, "OLTP"), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100000; i++ {
+			s.Step()
+		}
+		// Bound: tokens pending = loads in flight; with 8 MSHRs x 4 cores
+		// plus hit-latency tokens, a few hundred is generous.
+		if n := s.PendingLoads(); n > 500 {
+			t.Fatalf("%s: %d pending load tokens (leak)", prot, n)
+		}
+		if q := s.QueuedL2Ops(); q > 1000 {
+			t.Fatalf("%s: %d queued L2 ops (backlog)", prot, q)
+		}
+	}
+}
+
+func TestWriteThroughProtectionRuns(t *testing.T) {
+	r, err := RunOne(FatConfig(), Protection{WriteThroughL1: true, L2TwoD: true},
+		prof(t, "OLTP"), 1, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed == 0 {
+		t.Fatal("write-through made no progress")
+	}
+	// Write-through multiplies L2 writes well beyond writeback levels.
+	base, err := RunOne(FatConfig(), Baseline(), prof(t, "OLTP"), 1, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L2.Write < base.L2.Write*3 {
+		t.Fatalf("write-through L2 writes %d not >> baseline %d", r.L2.Write, base.L2.Write)
+	}
+}
+
+func TestReplicationCacheRuns(t *testing.T) {
+	r, err := RunOne(FatConfig(), Protection{ReplicationEntries: 8},
+		prof(t, "OLTP"), 1, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed == 0 {
+		t.Fatal("replication cache made no progress")
+	}
+	base, err := RunOne(FatConfig(), Baseline(), prof(t, "OLTP"), 1, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L2.Write <= base.L2.Write {
+		t.Fatalf("replication spills %d not above baseline %d", r.L2.Write, base.L2.Write)
+	}
+}
+
+func TestInvalidProtectionCombos(t *testing.T) {
+	bad := []Protection{
+		{WriteThroughL1: true, L1TwoD: true},
+		{ReplicationEntries: 4, L1TwoD: true},
+		{ReplicationEntries: 4, WriteThroughL1: true},
+	}
+	for i, p := range bad {
+		if _, err := New(FatConfig(), p, prof(t, "OLTP"), 1); err == nil {
+			t.Errorf("case %d: invalid combo accepted", i)
+		}
+	}
+}
+
+func TestErrorInjectionBlocksL1(t *testing.T) {
+	p := prof(t, "OLTP")
+	base, err := RunOne(FatConfig(), Protection{L1TwoD: true, PortStealing: true},
+		p, 1, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stormProt := Protection{L1TwoD: true, PortStealing: true, ErrorEveryCycles: 500}
+	storm, err := RunOne(FatConfig(), stormProt, p, 1, testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storm.Recoveries == 0 {
+		t.Fatal("no recoveries under storm")
+	}
+	if storm.IPC() >= base.IPC() {
+		t.Fatalf("error storm did not cost IPC: %v vs %v", storm.IPC(), base.IPC())
+	}
+}

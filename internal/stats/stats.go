@@ -1,0 +1,185 @@
+// Package stats provides the small statistical toolbox used by the
+// yield models and the SimFlex-style sampled simulations: Poisson and
+// binomial distributions, sample summaries, confidence intervals, and
+// matched-pair comparison of simulation runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoissonPMF returns P(X = k) for X ~ Poisson(lambda), computed in log
+// space for numerical stability.
+func PoissonPMF(lambda float64, k int) float64 {
+	if lambda < 0 || k < 0 {
+		return 0
+	}
+	if lambda == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lp := -lambda + float64(k)*math.Log(lambda) - logFactorial(k)
+	return math.Exp(lp)
+}
+
+// PoissonCDF returns P(X <= k) for X ~ Poisson(lambda).
+func PoissonCDF(lambda float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	// Large-lambda normal approximation with continuity correction.
+	if lambda > 5000 {
+		z := (float64(k) + 0.5 - lambda) / math.Sqrt(lambda)
+		return normCDF(z)
+	}
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += PoissonPMF(lambda, i)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// BinomialTailLE returns P(X <= k) for X ~ Binomial(n, p), using a
+// Poisson approximation when n is large and p small, a normal
+// approximation when np(1-p) is large, and the exact sum otherwise.
+func BinomialTailLE(n int, p float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	mean := float64(n) * p
+	if float64(n) > 1e5 && p < 1e-3 {
+		return PoissonCDF(mean, k)
+	}
+	variance := mean * (1 - p)
+	if variance > 2500 {
+		z := (float64(k) + 0.5 - mean) / math.Sqrt(variance)
+		return normCDF(z)
+	}
+	// Exact sum in log space.
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		lp := logChoose(n, i) + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p)
+		sum += math.Exp(lp)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+func logFactorial(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	// Stirling series with correction; exact for small n.
+	if n < 32 {
+		s := 0.0
+		for i := 2; i <= n; i++ {
+			s += math.Log(float64(i))
+		}
+		return s
+	}
+	x := float64(n)
+	return x*math.Log(x) - x + 0.5*math.Log(2*math.Pi*x) + 1/(12*x)
+}
+
+func logChoose(n, k int) float64 {
+	return logFactorial(n) - logFactorial(k) - logFactorial(n-k)
+}
+
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Sample accumulates observations and summarises them.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean (normal approximation, as SimFlex sampling uses).
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// MatchedPair compares paired baseline/treatment observations (same
+// workload sample run under both configurations — the paper's
+// matched-pair relative-performance methodology) and reports the mean
+// relative delta (treatment-baseline)/baseline with its 95% CI.
+type MatchedPair struct {
+	deltas Sample
+}
+
+// Add records one paired observation. baseline must be nonzero.
+func (m *MatchedPair) Add(baseline, treatment float64) error {
+	if baseline == 0 {
+		return fmt.Errorf("stats: zero baseline in matched pair")
+	}
+	m.deltas.Add((treatment - baseline) / baseline)
+	return nil
+}
+
+// MeanDelta returns the average relative difference.
+func (m *MatchedPair) MeanDelta() float64 { return m.deltas.Mean() }
+
+// CI95 returns the half-width of the 95% CI on the mean delta.
+func (m *MatchedPair) CI95() float64 { return m.deltas.CI95() }
+
+// N returns the number of pairs.
+func (m *MatchedPair) N() int { return m.deltas.N() }
+
+// HoursPerYear is the 8766-hour year (365.25 days) used by the
+// reliability models.
+const HoursPerYear = 8766.0

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonPMFBasics(t *testing.T) {
+	if p := PoissonPMF(0, 0); p != 1 {
+		t.Fatalf("P(0;0) = %v", p)
+	}
+	if p := PoissonPMF(0, 3); p != 0 {
+		t.Fatalf("P(3;0) = %v", p)
+	}
+	// P(0; 2) = e^-2.
+	if p := PoissonPMF(2, 0); math.Abs(p-math.Exp(-2)) > 1e-12 {
+		t.Fatalf("P(0;2) = %v", p)
+	}
+	// PMF sums to ~1.
+	sum := 0.0
+	for k := 0; k < 100; k++ {
+		sum += PoissonPMF(7.3, k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pmf sum = %v", sum)
+	}
+}
+
+func TestPoissonCDFMonotone(t *testing.T) {
+	prev := 0.0
+	for k := 0; k < 50; k++ {
+		c := PoissonCDF(10, k)
+		if c < prev {
+			t.Fatalf("CDF not monotone at k=%d", k)
+		}
+		prev = c
+	}
+	if c := PoissonCDF(10, 49); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("CDF(49;10) = %v", c)
+	}
+	if PoissonCDF(5, -1) != 0 {
+		t.Fatal("CDF(-1) != 0")
+	}
+}
+
+func TestPoissonCDFLargeLambdaApprox(t *testing.T) {
+	// The normal approximation at the mean should be ~0.5.
+	c := PoissonCDF(10000, 10000)
+	if c < 0.45 || c > 0.55 {
+		t.Fatalf("CDF(mean) = %v", c)
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// Binomial(10, 0.5): P(X <= 5) ~ 0.623.
+	c := BinomialTailLE(10, 0.5, 5)
+	if math.Abs(c-0.623046875) > 1e-9 {
+		t.Fatalf("binom tail = %v", c)
+	}
+	if BinomialTailLE(10, 0.5, 10) != 1 {
+		t.Fatal("P(X<=n) != 1")
+	}
+	if BinomialTailLE(10, 0.5, -1) != 0 {
+		t.Fatal("P(X<=-1) != 0")
+	}
+	if BinomialTailLE(10, 0, 0) != 1 {
+		t.Fatal("p=0 tail")
+	}
+	if BinomialTailLE(10, 1, 5) != 0 {
+		t.Fatal("p=1 tail")
+	}
+	// Poisson regime agrees with direct Poisson.
+	big := BinomialTailLE(2_000_000, 1e-6, 3)
+	pois := PoissonCDF(2.0, 3)
+	if math.Abs(big-pois) > 1e-6 {
+		t.Fatalf("poisson regime %v vs %v", big, pois)
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if math.Abs(s.StdDev()-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.StdDev())
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 should be positive")
+	}
+	var empty Sample
+	if empty.Mean() != 0 || empty.StdDev() != 0 {
+		t.Fatal("empty sample summary")
+	}
+	if !math.IsInf(empty.CI95(), 1) {
+		t.Fatal("empty CI should be infinite")
+	}
+}
+
+func TestSampleCIShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Sample
+	for i := 0; i < 20; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 2000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestMatchedPair(t *testing.T) {
+	var mp MatchedPair
+	// Treatment consistently 3% below baseline.
+	for i := 1; i <= 10; i++ {
+		base := float64(i)
+		if err := mp.Add(base, base*0.97); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(mp.MeanDelta()+0.03) > 1e-12 {
+		t.Fatalf("delta = %v", mp.MeanDelta())
+	}
+	if mp.N() != 10 {
+		t.Fatalf("n = %d", mp.N())
+	}
+	if err := mp.Add(0, 1); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"twodcache/internal/workload"
+)
+
+// Replayer feeds a recorded trace to a simulated core, looping back to
+// the start when the recording runs out (simulations usually need more
+// instructions than any finite recording holds). It implements
+// workload.Source.
+type Replayer struct {
+	instrs []workload.Instr
+	pos    int
+	loops  int
+}
+
+// NewReplayer loads a whole trace into memory for replay.
+func NewReplayer(r io.Reader) (*Replayer, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	ins, err := tr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("trace: empty trace cannot drive a core")
+	}
+	return &Replayer{instrs: ins}, nil
+}
+
+// Next returns the next recorded instruction, looping at the end.
+func (r *Replayer) Next() workload.Instr {
+	in := r.instrs[r.pos]
+	r.pos++
+	if r.pos == len(r.instrs) {
+		r.pos = 0
+		r.loops++
+	}
+	return in
+}
+
+// Len returns the number of recorded instructions.
+func (r *Replayer) Len() int { return len(r.instrs) }
+
+// Loops returns how many times the recording has wrapped.
+func (r *Replayer) Loops() int { return r.loops }
+
+var _ workload.Source = (*Replayer)(nil)
+
+// Summary reports aggregate statistics of a trace, for inspection
+// tooling.
+type Summary struct {
+	// Instructions is the total record count.
+	Instructions int
+	// Loads and Stores count the memory operations.
+	Loads, Stores int
+	// UniqueLines counts distinct 64-byte lines touched.
+	UniqueLines int
+}
+
+// MemFrac returns the memory-instruction fraction.
+func (s Summary) MemFrac() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Loads+s.Stores) / float64(s.Instructions)
+}
+
+// WriteFrac returns the store fraction of memory operations.
+func (s Summary) WriteFrac() float64 {
+	mem := s.Loads + s.Stores
+	if mem == 0 {
+		return 0
+	}
+	return float64(s.Stores) / float64(mem)
+}
+
+// Summarize scans a trace and reports its statistics.
+func Summarize(r io.Reader) (Summary, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return Summary{}, err
+	}
+	var s Summary
+	lines := map[uint64]bool{}
+	for {
+		in, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Instructions++
+		if in.IsMem {
+			if in.IsWrite {
+				s.Stores++
+			} else {
+				s.Loads++
+			}
+			lines[in.Addr>>6] = true
+		}
+	}
+	s.UniqueLines = len(lines)
+	return s, nil
+}

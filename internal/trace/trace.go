@@ -1,0 +1,236 @@
+// Package trace provides a compact binary format for recording and
+// replaying per-thread instruction traces. Recorded traces make
+// simulation experiments exactly repeatable across configurations and
+// let users drive the CMP simulator with traffic captured elsewhere
+// (e.g. converted from real pin/dynamorio traces) instead of the
+// built-in synthetic generators.
+//
+// Format (little-endian):
+//
+//	magic   [4]byte "2DCT"
+//	version uint16 (currently 1)
+//	count   uint64 number of records
+//	records: 1 control byte + optional address
+//	  bit0: IsMem, bit1: IsWrite, bits2-3: address encoding
+//	    0 = no address (non-mem)
+//	    1 = uint64 absolute address
+//	    2 = varint delta from previous address (signed, zig-zag)
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"twodcache/internal/workload"
+)
+
+var magic = [4]byte{'2', 'D', 'C', 'T'}
+
+// Version is the current format version.
+const Version = 1
+
+const (
+	flagMem   = 1 << 0
+	flagWrite = 1 << 1
+	encShift  = 2
+	encNone   = 0
+	encAbs    = 1
+	encDelta  = 2
+)
+
+// Writer streams instruction records to an io.Writer.
+type Writer struct {
+	w        *bufio.Writer
+	count    uint64
+	lastAddr uint64
+	// counting pass finished; header written up-front with a
+	// placeholder requires seeking, so Writer defers the header until
+	// Flush via an in-memory index... instead we write count at Close
+	// only for io.WriteSeeker; for plain writers the count is stored as
+	// ^0 (streaming) and readers consume until EOF.
+	seeker io.WriteSeeker
+}
+
+// NewWriter starts a trace on w. If w is an io.WriteSeeker the record
+// count is patched into the header on Close; otherwise the header
+// records a streaming marker and readers read to EOF.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriter(w)}
+	if s, ok := w.(io.WriteSeeker); ok {
+		tw.seeker = s
+	}
+	if _, err := tw.w.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(tw.w, binary.LittleEndian, uint16(Version)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(tw.w, binary.LittleEndian, ^uint64(0)); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Append records one instruction.
+func (tw *Writer) Append(in workload.Instr) error {
+	var ctrl byte
+	if !in.IsMem {
+		if err := tw.w.WriteByte(ctrl); err != nil {
+			return err
+		}
+		tw.count++
+		return nil
+	}
+	ctrl |= flagMem
+	if in.IsWrite {
+		ctrl |= flagWrite
+	}
+	delta := int64(in.Addr) - int64(tw.lastAddr)
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], delta)
+	if n < 8 {
+		ctrl |= encDelta << encShift
+		if err := tw.w.WriteByte(ctrl); err != nil {
+			return err
+		}
+		if _, err := tw.w.Write(buf[:n]); err != nil {
+			return err
+		}
+	} else {
+		ctrl |= encAbs << encShift
+		if err := tw.w.WriteByte(ctrl); err != nil {
+			return err
+		}
+		if err := binary.Write(tw.w, binary.LittleEndian, in.Addr); err != nil {
+			return err
+		}
+	}
+	tw.lastAddr = in.Addr
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Close flushes and, when the underlying writer supports seeking,
+// patches the record count into the header.
+func (tw *Writer) Close() error {
+	if err := tw.w.Flush(); err != nil {
+		return err
+	}
+	if tw.seeker != nil {
+		if _, err := tw.seeker.Seek(int64(len(magic)+2), io.SeekStart); err != nil {
+			return err
+		}
+		if err := binary.Write(tw.seeker, binary.LittleEndian, tw.count); err != nil {
+			return err
+		}
+		if _, err := tw.seeker.Seek(0, io.SeekEnd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader replays a recorded trace.
+type Reader struct {
+	r        *bufio.Reader
+	remain   uint64
+	stream   bool
+	lastAddr uint64
+}
+
+// NewReader opens a trace.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, remain: count, stream: count == ^uint64(0)}, nil
+}
+
+// Next returns the next instruction, or io.EOF at the end.
+func (tr *Reader) Next() (workload.Instr, error) {
+	if !tr.stream && tr.remain == 0 {
+		return workload.Instr{}, io.EOF
+	}
+	ctrl, err := tr.r.ReadByte()
+	if err != nil {
+		if err == io.EOF && tr.stream {
+			return workload.Instr{}, io.EOF
+		}
+		return workload.Instr{}, err
+	}
+	if !tr.stream {
+		tr.remain--
+	}
+	var in workload.Instr
+	if ctrl&flagMem == 0 {
+		return in, nil
+	}
+	in.IsMem = true
+	in.IsWrite = ctrl&flagWrite != 0
+	switch (ctrl >> encShift) & 3 {
+	case encAbs:
+		if err := binary.Read(tr.r, binary.LittleEndian, &in.Addr); err != nil {
+			return in, fmt.Errorf("trace: truncated address: %w", err)
+		}
+	case encDelta:
+		d, err := binary.ReadVarint(tr.r)
+		if err != nil {
+			return in, fmt.Errorf("trace: truncated delta: %w", err)
+		}
+		in.Addr = uint64(int64(tr.lastAddr) + d)
+	default:
+		return in, fmt.Errorf("trace: memory record without address encoding")
+	}
+	tr.lastAddr = in.Addr
+	return in, nil
+}
+
+// ReadAll replays every record.
+func (tr *Reader) ReadAll() ([]workload.Instr, error) {
+	var out []workload.Instr
+	for {
+		in, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+	}
+}
+
+// Record captures n instructions from a workload stream into w.
+func Record(w io.Writer, src *workload.Stream, n int) (uint64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Append(src.Next()); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Close()
+}

@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twodcache/internal/workload"
+)
+
+func sampleInstrs(n int) []workload.Instr {
+	p, _ := workload.ByName("OLTP")
+	s := workload.MustStream(p, 0, 0, 42)
+	out := make([]workload.Instr, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	ins := sampleInstrs(5000)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range ins {
+		if err := tw.Append(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != 5000 {
+		t.Fatalf("count = %d", tw.Count())
+	}
+
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("len = %d, want %d", len(got), len(ins))
+	}
+	for i := range ins {
+		if got[i] != ins[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], ins[i])
+		}
+	}
+}
+
+func TestRoundTripFileWithSeek(t *testing.T) {
+	// With a seekable file, the header carries the exact record count.
+	path := filepath.Join(t.TempDir(), "x.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := workload.ByName("DSS")
+	src := workload.MustStream(p, 1, 0, 7)
+	n, err := Record(f, src, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1234 {
+		t.Fatalf("recorded %d", n)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	tr, err := NewReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1234 {
+		t.Fatalf("replayed %d", len(got))
+	}
+	// Replay must equal a fresh generator with the same seed.
+	ref := workload.MustStream(p, 1, 0, 7)
+	for i, in := range got {
+		if in != ref.Next() {
+			t.Fatalf("record %d diverges", i)
+		}
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE...."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte("2DCT"))
+	buf.Write([]byte{99, 0}) // version 99
+	buf.Write(make([]byte, 8))
+	if _, err := NewReader(&buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	ins := sampleInstrs(100)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	for _, in := range ins {
+		_ = tw.Append(in)
+	}
+	_ = tw.Close()
+	full := buf.Bytes()
+	// Chop mid-record: reader must error, not hang or panic.
+	tr, err := NewReader(bytes.NewReader(full[:len(full)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.ReadAll()
+	if err == nil {
+		t.Fatal("truncated trace read cleanly")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Delta encoding should keep the trace well under 9 bytes/record
+	// for generator-like locality.
+	ins := sampleInstrs(20000)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	for _, in := range ins {
+		_ = tw.Append(in)
+	}
+	_ = tw.Close()
+	perRecord := float64(buf.Len()) / 20000
+	if perRecord > 6 {
+		t.Fatalf("%.1f bytes/record, want < 6", perRecord)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	_ = tw.Close()
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestRandomAddressesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ins []workload.Instr
+	for i := 0; i < 2000; i++ {
+		in := workload.Instr{IsMem: rng.Intn(2) == 1}
+		if in.IsMem {
+			in.IsWrite = rng.Intn(2) == 1
+			in.Addr = rng.Uint64() // worst case: no locality
+		}
+		ins = append(ins, in)
+	}
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	for _, in := range ins {
+		if err := tw.Append(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = tw.Close()
+	tr, _ := NewReader(&buf)
+	got, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		if got[i] != ins[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	ins := sampleInstrs(100)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	for _, in := range ins {
+		_ = tw.Append(in)
+	}
+	_ = tw.Close()
+	rep, err := NewReplayer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 100 {
+		t.Fatalf("len = %d", rep.Len())
+	}
+	for i := 0; i < 250; i++ {
+		got := rep.Next()
+		if got != ins[i%100] {
+			t.Fatalf("replay %d mismatch", i)
+		}
+	}
+	if rep.Loops() != 2 {
+		t.Fatalf("loops = %d", rep.Loops())
+	}
+}
+
+func TestReplayerRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	_ = tw.Close()
+	if _, err := NewReplayer(&buf); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p, _ := workload.ByName("OLTP")
+	src := workload.MustStream(p, 0, 0, 11)
+	var buf bytes.Buffer
+	if _, err := Record(&buf, src, 50000); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions != 50000 {
+		t.Fatalf("instructions = %d", s.Instructions)
+	}
+	if mf := s.MemFrac(); mf < 0.33 || mf > 0.39 {
+		t.Fatalf("mem frac = %v, want ~0.36", mf)
+	}
+	if wf := s.WriteFrac(); wf < 0.28 || wf > 0.36 {
+		t.Fatalf("write frac = %v, want ~0.32", wf)
+	}
+	if s.UniqueLines == 0 {
+		t.Fatal("no lines touched")
+	}
+}
+
+func TestReplayerDrivesCore(t *testing.T) {
+	// A replayed trace must be a drop-in workload.Source for the cores.
+	p, _ := workload.ByName("Web")
+	src := workload.MustStream(p, 0, 0, 5)
+	var buf bytes.Buffer
+	if _, err := Record(&buf, src, 10000); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s workload.Source = rep
+	mem := 0
+	for i := 0; i < 20000; i++ { // loops once
+		if s.Next().IsMem {
+			mem++
+		}
+	}
+	if mem == 0 {
+		t.Fatal("no memory ops replayed")
+	}
+}

@@ -1,0 +1,295 @@
+package twod
+
+import (
+	"fmt"
+
+	"twodcache/internal/bitvec"
+	"twodcache/internal/ecc"
+)
+
+// Config parameterises a 2D-protected array.
+type Config struct {
+	// Rows is the number of data rows.
+	Rows int
+	// WordsPerRow is the physical bit-interleave degree d.
+	WordsPerRow int
+	// Horizontal is the per-word code checked on every read (EDCn or
+	// SECDED).
+	Horizontal ecc.HorizontalCode
+	// VerticalGroups is V, the number of interleaved vertical parity
+	// rows: data row r accumulates into parity row r mod V. The paper's
+	// EDC32 vertical code is V = 32.
+	VerticalGroups int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Horizontal == nil {
+		return fmt.Errorf("twod: nil horizontal code")
+	}
+	if c.Rows <= 0 || c.WordsPerRow <= 0 {
+		return fmt.Errorf("twod: invalid geometry rows=%d words/row=%d", c.Rows, c.WordsPerRow)
+	}
+	if c.VerticalGroups <= 0 || c.VerticalGroups > c.Rows {
+		return fmt.Errorf("twod: vertical groups %d out of range [1,%d]", c.VerticalGroups, c.Rows)
+	}
+	return nil
+}
+
+// Stats counts array activity; the CMP simulator and the overhead
+// benches consume these.
+type Stats struct {
+	// Reads is the number of word read operations.
+	Reads uint64
+	// Writes is the number of word write operations.
+	Writes uint64
+	// ExtraReads counts the read-before-write operations issued to
+	// update the vertical parity (the paper's ~20% extra accesses).
+	ExtraReads uint64
+	// InlineCorrections counts single-bit errors repaired by the
+	// horizontal SECDED code without entering 2D recovery.
+	InlineCorrections uint64
+	// Recoveries counts invocations of the 2D recovery process.
+	Recoveries uint64
+	// RecoveredWords counts words repaired by 2D recovery.
+	RecoveredWords uint64
+	// Uncorrectable counts recovery attempts that failed (error
+	// exceeded the 2D coverage).
+	Uncorrectable uint64
+}
+
+// ReadStatus reports how a read completed.
+type ReadStatus int
+
+const (
+	// ReadClean means the horizontal code checked clean.
+	ReadClean ReadStatus = iota
+	// ReadCorrectedInline means SECDED repaired a single-bit error
+	// without invoking 2D recovery.
+	ReadCorrectedInline
+	// ReadRecovered means 2D recovery ran and repaired the word.
+	ReadRecovered
+	// ReadUncorrectable means the error exceeded 2D coverage; the
+	// returned data is not trustworthy.
+	ReadUncorrectable
+)
+
+// String names the read status.
+func (s ReadStatus) String() string {
+	switch s {
+	case ReadClean:
+		return "clean"
+	case ReadCorrectedInline:
+		return "corrected-inline"
+	case ReadRecovered:
+		return "recovered-2d"
+	case ReadUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("ReadStatus(%d)", int(s))
+	}
+}
+
+// Array is a memory array protected by 2D error coding. All storage —
+// data bits, horizontal check bits, and vertical parity rows — is
+// explicit, so fault injection can flip any physical bit and recovery
+// must cope exactly as hardware would.
+type Array struct {
+	cfg    Config
+	layout Layout
+	data   *bitvec.Matrix // Rows x RowBits: interleaved codewords
+	vpar   *bitvec.Matrix // VerticalGroups x RowBits: parity rows
+	stats  Stats
+}
+
+// NewArray builds a zero-initialised protected array (vertical parity
+// of all-zero data is all zero, so the array starts consistent).
+func NewArray(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout := Layout{
+		Rows:         cfg.Rows,
+		WordsPerRow:  cfg.WordsPerRow,
+		CodewordBits: ecc.CodewordBits(cfg.Horizontal),
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{
+		cfg:    cfg,
+		layout: layout,
+		data:   bitvec.NewMatrix(cfg.Rows, layout.RowBits()),
+		vpar:   bitvec.NewMatrix(cfg.VerticalGroups, layout.RowBits()),
+	}, nil
+}
+
+// MustArray is NewArray panicking on error.
+func MustArray(cfg Config) *Array {
+	a, err := NewArray(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the array's configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Layout returns the physical geometry.
+func (a *Array) Layout() Layout { return a.layout }
+
+// Stats returns a snapshot of the activity counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the activity counters.
+func (a *Array) ResetStats() { a.stats = Stats{} }
+
+// Words returns the number of addressable words.
+func (a *Array) Words() int { return a.layout.Words() }
+
+// DataBits returns the logical word width.
+func (a *Array) DataBits() int { return a.cfg.Horizontal.DataBits() }
+
+// group returns the vertical parity group of data row r.
+func (a *Array) group(r int) int { return r % a.cfg.VerticalGroups }
+
+// extract reads word w's codeword out of physical row r.
+func (a *Array) extract(r, w int) *bitvec.Vector {
+	cw := bitvec.New(a.layout.CodewordBits)
+	row := a.data.Row(r)
+	for b := 0; b < a.layout.CodewordBits; b++ {
+		if row.Bit(a.layout.PhysColumn(w, b)) {
+			cw.Set(b, true)
+		}
+	}
+	return cw
+}
+
+// store writes codeword cw into word slot (r, w), updating the vertical
+// parity for every bit that changes (the delta-XOR of Fig. 4(a) step 2).
+func (a *Array) store(r, w int, cw *bitvec.Vector) {
+	row := a.data.Row(r)
+	par := a.vpar.Row(a.group(r))
+	for b := 0; b < a.layout.CodewordBits; b++ {
+		col := a.layout.PhysColumn(w, b)
+		old := row.Bit(col)
+		nv := cw.Bit(b)
+		if old != nv {
+			row.Set(col, nv)
+			par.Flip(col)
+		}
+	}
+}
+
+// checkWord returns the horizontal syndrome of word (r, w).
+func (a *Array) checkWord(r, w int) uint64 {
+	return a.cfg.Horizontal.SyndromeBits(a.extract(r, w))
+}
+
+// Write stores data (DataBits wide) into word w of row r. Every write
+// is converted to a read-before-write: the old codeword is read both to
+// compute the vertical parity delta and to check its integrity — a
+// latent error under the overwritten word triggers recovery first, as
+// the hardware's read-check would.
+func (a *Array) Write(r, w int, data *bitvec.Vector) ReadStatus {
+	if data.Len() != a.DataBits() {
+		panic(fmt.Sprintf("twod: Write data width %d != %d", data.Len(), a.DataBits()))
+	}
+	a.stats.Writes++
+	a.stats.ExtraReads++ // the read-before-write
+	status := ReadClean
+	if a.checkWord(r, w) != 0 {
+		// Latent error under the write target: repair before computing
+		// the delta, otherwise the corruption would poison the parity.
+		if !a.repairWord(r, w) {
+			status = ReadUncorrectable
+		} else {
+			status = ReadRecovered
+		}
+	}
+	a.store(r, w, a.cfg.Horizontal.Encode(data))
+	return status
+}
+
+// Read returns word w of row r, checking the horizontal code and
+// escalating to in-line SECDED correction or full 2D recovery as
+// needed.
+func (a *Array) Read(r, w int) (*bitvec.Vector, ReadStatus) {
+	a.stats.Reads++
+	cw := a.extract(r, w)
+	res, _ := a.cfg.Horizontal.Decode(cw)
+	switch res {
+	case ecc.Clean:
+		return a.cfg.Horizontal.Data(cw), ReadClean
+	case ecc.Corrected:
+		// SECDED fixed a single-bit error in the copy; write the repair
+		// back to the cells. The vertical parity reflects intended
+		// contents, so restoring a corrupted cell must NOT touch parity.
+		a.stats.InlineCorrections++
+		a.storeRaw(r, w, cw)
+		return a.cfg.Horizontal.Data(cw), ReadCorrectedInline
+	default:
+		if !a.repairWord(r, w) {
+			cw = a.extract(r, w)
+			return a.cfg.Horizontal.Data(cw), ReadUncorrectable
+		}
+		cw = a.extract(r, w)
+		return a.cfg.Horizontal.Data(cw), ReadRecovered
+	}
+}
+
+// storeRaw writes codeword bits without a parity delta — used only to
+// restore corrupted cells to their intended value.
+func (a *Array) storeRaw(r, w int, cw *bitvec.Vector) {
+	row := a.data.Row(r)
+	for b := 0; b < a.layout.CodewordBits; b++ {
+		row.Set(a.layout.PhysColumn(w, b), cw.Bit(b))
+	}
+}
+
+// repairWord runs 2D recovery and reports whether word (r, w) now
+// checks clean.
+func (a *Array) repairWord(r, w int) bool {
+	a.Recover()
+	return a.checkWord(r, w) == 0
+}
+
+// --- fault-injection surface (used by internal/fault) -----------------
+
+// FlipBit flips the physical data bit at (row, col) WITHOUT updating
+// the vertical parity: this models an error, not a write.
+func (a *Array) FlipBit(row, col int) { a.data.Flip(row, col) }
+
+// FlipParityBit flips a bit of vertical parity row g: errors can strike
+// the parity storage too.
+func (a *Array) FlipParityBit(g, col int) { a.vpar.Flip(g, col) }
+
+// RowBits returns the physical row width.
+func (a *Array) RowBits() int { return a.layout.RowBits() }
+
+// Rows returns the number of data rows.
+func (a *Array) Rows() int { return a.cfg.Rows }
+
+// VerticalGroups returns V.
+func (a *Array) VerticalGroups() int { return a.cfg.VerticalGroups }
+
+// SnapshotData returns a deep copy of the data matrix, for
+// campaign-level golden comparisons.
+func (a *Array) SnapshotData() *bitvec.Matrix { return a.data.Clone() }
+
+// ForceWrite overwrites word (r, w) unconditionally — no
+// read-before-write, no integrity check — and rebuilds the vertical
+// parity from scratch. It is the software-visible "reload after an
+// uncorrectable error" path: after data beyond the 2D coverage is
+// detected (a machine-check in real hardware), the OS refetches the
+// line and the array must return to a consistent state regardless of
+// how corrupted it was.
+func (a *Array) ForceWrite(r, w int, data *bitvec.Vector) {
+	if data.Len() != a.DataBits() {
+		panic(fmt.Sprintf("twod: ForceWrite data width %d != %d", data.Len(), a.DataBits()))
+	}
+	a.stats.Writes++
+	a.storeRaw(r, w, a.cfg.Horizontal.Encode(data))
+	a.rebuildParity()
+}

@@ -1,0 +1,92 @@
+package twod
+
+import (
+	"math/rand"
+	"testing"
+
+	"twodcache/internal/ecc"
+)
+
+// TestRecoverNeverPanicsOnRandomSoup throws arbitrary mixtures of data
+// and parity-row flips at the array: recovery may legitimately fail
+// (the soup usually exceeds coverage), but it must never panic, and
+// when the soup happens to stay inside one coverage box a success must
+// restore the golden image.
+func TestRecoverNeverPanicsOnRandomSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 60; trial++ {
+		a := MustArray(Config{
+			Rows: 64, WordsPerRow: 2,
+			Horizontal:     ecc.MustEDC(64, 8),
+			VerticalGroups: 16,
+		})
+		fillRandom(a, rng)
+		nData := rng.Intn(40)
+		for i := 0; i < nData; i++ {
+			a.FlipBit(rng.Intn(a.Rows()), rng.Intn(a.RowBits()))
+		}
+		nPar := rng.Intn(5)
+		for i := 0; i < nPar; i++ {
+			a.FlipParityBit(rng.Intn(a.VerticalGroups()), rng.Intn(a.RowBits()))
+		}
+		rep := a.Recover() // must not panic
+		if rep.Success {
+			// A successful recovery leaves every word checking clean and
+			// the parity invariant intact.
+			for r := 0; r < a.Rows(); r++ {
+				for w := 0; w < 2; w++ {
+					if a.checkWord(r, w) != 0 {
+						t.Fatalf("trial %d: success with dirty word (%d,%d)", trial, r, w)
+					}
+				}
+			}
+			if !parityConsistent(a) {
+				t.Fatalf("trial %d: success with inconsistent parity", trial)
+			}
+		}
+	}
+}
+
+// TestReadsNeverPanicUnderErrors hammers Read/Write on a continuously
+// corrupted array; statuses must be sane and storage must stay usable.
+func TestReadsNeverPanicUnderErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a := MustArray(Config{
+		Rows: 32, WordsPerRow: 2,
+		Horizontal:     ecc.MustSECDED(64),
+		VerticalGroups: 8,
+	})
+	fillRandom(a, rng)
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			a.FlipBit(rng.Intn(32), rng.Intn(a.RowBits()))
+		case 1:
+			a.Write(rng.Intn(32), rng.Intn(2), randVec(rng, 64))
+		default:
+			_, st := a.Read(rng.Intn(32), rng.Intn(2))
+			if st < ReadClean || st > ReadUncorrectable {
+				t.Fatalf("bogus status %v", st)
+			}
+		}
+	}
+}
+
+// TestVSECDEDNeverPanicsOnRandomSoup mirrors the soup test for the
+// vertical-SECDED variant.
+func TestVSECDEDNeverPanicsOnRandomSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 40; trial++ {
+		a := MustVSECDEDArray(64, 2, ecc.MustEDC(64, 8))
+		for r := 0; r < 64; r++ {
+			for w := 0; w < 2; w++ {
+				a.Write(r, w, randVec(rng, 64))
+			}
+		}
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			a.FlipBit(rng.Intn(64), rng.Intn(a.RowBits()))
+		}
+		a.Recover() // must not panic
+	}
+}

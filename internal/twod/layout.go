@@ -1,0 +1,63 @@
+// Package twod implements the paper's primary contribution: a memory
+// array protected by two-dimensional error coding. A light-weight
+// horizontal per-word code (interleaved-parity EDCn, or Hsiao SECDED
+// for in-line single-bit correction and yield enhancement) is checked
+// on every read, while interleaved vertical parity rows — maintained in
+// the background via read-before-write delta updates — are consulted
+// only by the rare recovery process to reconstruct large clustered
+// errors, row failures, and column failures.
+package twod
+
+import "fmt"
+
+// Layout describes the physical geometry of one protected sub-array:
+// how many logical words share a physical row and how their codeword
+// bits are interleaved along the wordline.
+//
+// With d-way physical bit interleaving, physical column c of a row
+// holds bit c/d of word c%d, so a contiguous physical burst of up to
+// d*n bits touches each word's EDCn parity groups at most once per
+// group (paper §2.2, §3).
+type Layout struct {
+	// Rows is the number of data rows in the array (excluding vertical
+	// parity rows).
+	Rows int
+	// WordsPerRow is the physical interleave degree d.
+	WordsPerRow int
+	// CodewordBits is the per-word codeword size (data + check bits).
+	CodewordBits int
+}
+
+// Validate checks the geometry.
+func (l Layout) Validate() error {
+	if l.Rows <= 0 || l.WordsPerRow <= 0 || l.CodewordBits <= 0 {
+		return fmt.Errorf("twod: invalid layout %+v", l)
+	}
+	return nil
+}
+
+// RowBits returns the physical row width in bits.
+func (l Layout) RowBits() int { return l.WordsPerRow * l.CodewordBits }
+
+// PhysColumn maps (word index within row, bit index within codeword) to
+// a physical column.
+func (l Layout) PhysColumn(word, bit int) int {
+	if word < 0 || word >= l.WordsPerRow {
+		panic(fmt.Sprintf("twod: word %d out of range [0,%d)", word, l.WordsPerRow))
+	}
+	if bit < 0 || bit >= l.CodewordBits {
+		panic(fmt.Sprintf("twod: bit %d out of range [0,%d)", bit, l.CodewordBits))
+	}
+	return bit*l.WordsPerRow + word
+}
+
+// Locate maps a physical column back to (word index, codeword bit).
+func (l Layout) Locate(col int) (word, bit int) {
+	if col < 0 || col >= l.RowBits() {
+		panic(fmt.Sprintf("twod: column %d out of range [0,%d)", col, l.RowBits()))
+	}
+	return col % l.WordsPerRow, col / l.WordsPerRow
+}
+
+// Words returns the total number of addressable words in the array.
+func (l Layout) Words() int { return l.Rows * l.WordsPerRow }

@@ -1,0 +1,376 @@
+package twod
+
+import (
+	"twodcache/internal/bitvec"
+	"twodcache/internal/ecc"
+)
+
+// RecoveryMode identifies which branch of the Fig. 4(b) algorithm
+// repaired the array.
+type RecoveryMode int
+
+const (
+	// RecoveryNone: the scan found nothing to repair.
+	RecoveryNone RecoveryMode = iota
+	// RecoveryRow: each vertical parity group held at most one faulty
+	// row, so every faulty row was reconstructed by XOR-ing the group.
+	RecoveryRow
+	// RecoveryColumn: multiple faulty rows shared a group (large-scale
+	// column failure); faulty columns were located via the vertical
+	// code and bits were solved for along the horizontal direction.
+	RecoveryColumn
+	// RecoveryFailed: the error footprint exceeded 2D coverage.
+	RecoveryFailed
+)
+
+// String names the recovery mode.
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoveryNone:
+		return "none"
+	case RecoveryRow:
+		return "row-reconstruction"
+	case RecoveryColumn:
+		return "column-localisation"
+	case RecoveryFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// RecoveryReport summarises one invocation of the BIST-style recovery
+// process.
+type RecoveryReport struct {
+	// Mode is the repair strategy that ran.
+	Mode RecoveryMode
+	// FaultyWords is the number of words whose horizontal code flagged
+	// an error during the scan.
+	FaultyWords int
+	// BitsFlipped is the number of cell corrections applied.
+	BitsFlipped int
+	// InlineFixes counts words repaired by the horizontal ECC itself
+	// during column-mode recovery (the grey "ECC correct" box of
+	// Fig. 4(b)); nonzero only with a correcting horizontal code.
+	InlineFixes int
+	// ParityRefreshed reports whether the vertical parity rows were
+	// rebuilt (they held errors, or row-mode changed intent).
+	ParityRefreshed bool
+	// ScanReads counts the word reads performed — the dominant term of
+	// the recovery latency (comparable to a BIST march, §4).
+	ScanReads int
+	// Success reports whether the array checks fully clean afterwards.
+	Success bool
+}
+
+// CyclesEstimate returns a rough latency in array-access cycles,
+// dominated by the scan reads plus one write per corrected word.
+func (r RecoveryReport) CyclesEstimate() int {
+	return r.ScanReads + r.BitsFlipped
+}
+
+// Recover runs the 2D recovery process over the whole array and
+// repairs what the coverage allows. It implements Fig. 4(b):
+//
+//  1. March over all rows, checking every word's horizontal code.
+//  2. If every vertical group holds at most one faulty row, each faulty
+//     row's error pattern equals the group's parity mismatch — XOR it in.
+//  3. Otherwise (column-scale failure) locate suspect columns from the
+//     vertical mismatch and solve each faulty word's syndrome over the
+//     suspect set along the horizontal direction.
+//  4. Re-verify; refresh parity rows if the data is clean but parity is
+//     stale (errors struck the parity storage itself).
+func (a *Array) Recover() RecoveryReport {
+	a.stats.Recoveries++
+	rep := RecoveryReport{}
+
+	faultyWords, faultyRows := a.scan(&rep)
+	rep.FaultyWords = len(faultyWords)
+
+	mismatch := a.verticalMismatch()
+
+	if len(faultyWords) == 0 {
+		// Data clean. If parity rows disagree they took the hit; rebuild.
+		rep.Mode = RecoveryNone
+		if !allZero(mismatch) {
+			a.rebuildParity()
+			rep.ParityRefreshed = true
+		}
+		rep.Success = true
+		return rep
+	}
+
+	// Count faulty rows per vertical group.
+	groupCount := make([]int, a.cfg.VerticalGroups)
+	for r := range faultyRows {
+		groupCount[a.group(r)]++
+	}
+	columnMode := false
+	for _, c := range groupCount {
+		if c > 1 {
+			columnMode = true
+			break
+		}
+	}
+
+	if !columnMode {
+		rep.Mode = RecoveryRow
+		for r := range faultyRows {
+			m := mismatch[a.group(r)]
+			rep.BitsFlipped += m.PopCount()
+			a.data.XorRow(r, m)
+		}
+	} else {
+		rep.Mode = RecoveryColumn
+		if !a.recoverColumns(mismatch, faultyWords, &rep) {
+			rep.Mode = RecoveryFailed
+		}
+	}
+
+	// Verify: every word must now check clean.
+	for r := 0; r < a.cfg.Rows; r++ {
+		for w := 0; w < a.cfg.WordsPerRow; w++ {
+			rep.ScanReads++
+			if a.checkWord(r, w) != 0 {
+				rep.Mode = RecoveryFailed
+				rep.Success = false
+				a.stats.Uncorrectable++
+				return rep
+			}
+		}
+	}
+	// Data verified clean; restore the parity invariant if anything is
+	// left inconsistent (e.g. parity rows themselves were struck).
+	if !allZero(a.verticalMismatch()) {
+		if rep.InlineFixes > 0 {
+			// Inline ECC corrections that leave the vertical parity
+			// inconsistent indicate a miscorrection (>1 real error in
+			// some word): refuse to mask it.
+			rep.Mode = RecoveryFailed
+			rep.Success = false
+			a.stats.Uncorrectable++
+			return rep
+		}
+		a.rebuildParity()
+		rep.ParityRefreshed = true
+	}
+	rep.Success = true
+	a.stats.RecoveredWords += uint64(rep.FaultyWords)
+	return rep
+}
+
+// scan marches over the array checking every word's horizontal code.
+func (a *Array) scan(rep *RecoveryReport) (map[[2]int]uint64, map[int]bool) {
+	faultyWords := make(map[[2]int]uint64)
+	faultyRows := make(map[int]bool)
+	for r := 0; r < a.cfg.Rows; r++ {
+		for w := 0; w < a.cfg.WordsPerRow; w++ {
+			rep.ScanReads++
+			if syn := a.checkWord(r, w); syn != 0 {
+				faultyWords[[2]int{r, w}] = syn
+				faultyRows[r] = true
+			}
+		}
+	}
+	return faultyWords, faultyRows
+}
+
+// verticalMismatch returns, per group, the XOR of the stored parity row
+// with the parity recomputed from the data rows. With at most one
+// faulty row in the group this equals that row's exact error pattern.
+func (a *Array) verticalMismatch() []*bitvec.Vector {
+	out := make([]*bitvec.Vector, a.cfg.VerticalGroups)
+	for g := range out {
+		m := a.vpar.Row(g).Clone()
+		for r := g; r < a.cfg.Rows; r += a.cfg.VerticalGroups {
+			m.Xor(a.data.Row(r))
+		}
+		out[g] = m
+	}
+	return out
+}
+
+// rebuildParity recomputes all vertical parity rows from the data.
+func (a *Array) rebuildParity() {
+	for g := 0; g < a.cfg.VerticalGroups; g++ {
+		p := a.vpar.Row(g)
+		p.Zero()
+		for r := g; r < a.cfg.Rows; r += a.cfg.VerticalGroups {
+			p.Xor(a.data.Row(r))
+		}
+	}
+}
+
+// recoverColumns handles large-scale column failures: the union of the
+// vertical mismatches marks suspect physical columns; each faulty
+// word's syndrome is then solved over its suspect bits via GF(2)
+// elimination (unique solutions only).
+func (a *Array) recoverColumns(mismatch []*bitvec.Vector, faultyWords map[[2]int]uint64, rep *RecoveryReport) bool {
+	suspect := bitvec.New(a.layout.RowBits())
+	for _, m := range mismatch {
+		suspect.Or(m)
+	}
+	// Group suspect columns by word slot.
+	byWord := make(map[int][]int) // word slot -> codeword bit indices
+	for _, c := range suspect.Ones() {
+		w, b := a.layout.Locate(c)
+		byWord[w] = append(byWord[w], b)
+	}
+	h := a.cfg.Horizontal
+	canInline := h.CorrectCapability() > 0
+	ok := true
+	for rw, syn := range faultyWords {
+		r, w := rw[0], rw[1]
+		cand := byWord[w]
+		cols := make([]uint64, len(cand))
+		for i, b := range cand {
+			cols[i] = h.ParityColumn(b)
+		}
+		sel, unique := solveGF2(cols, syn)
+		if unique {
+			for i, use := range sel {
+				if use {
+					a.data.Flip(r, a.layout.PhysColumn(w, cand[i]))
+					rep.BitsFlipped++
+				}
+			}
+			continue
+		}
+		// Fall back to the horizontal ECC's own correction — the grey
+		// "ECC correct" box of Fig. 4(b). This handles column failures
+		// invisible to the vertical parity (even flip counts in every
+		// group), which a correcting code localises per word.
+		if canInline {
+			cw := a.extract(r, w)
+			if res, n := h.Decode(cw); res == ecc.Corrected {
+				a.storeRaw(r, w, cw)
+				rep.InlineFixes++
+				rep.BitsFlipped += n
+				continue
+			}
+		}
+		ok = false
+	}
+	return ok
+}
+
+// solveGF2 finds x with sum_{i: x_i} cols[i] == target over GF(2).
+// It reports the solution and whether it is unique. Duplicate or
+// dependent columns make the system ambiguous (unique=false).
+func solveGF2(cols []uint64, target uint64) (sel []bool, unique bool) {
+	n := len(cols)
+	sel = make([]bool, n)
+	// Build augmented rows: each column becomes a variable; eliminate
+	// to reduced row-echelon over the syndrome-bit equations.
+	type eq struct {
+		coef uint64 // bit i set => variable i participates
+		rhs  bool
+	}
+	// There are up to 64 syndrome bits; build one equation per bit.
+	var eqs []eq
+	for bit := 0; bit < 64; bit++ {
+		var coef uint64
+		for i, c := range cols {
+			if c&(1<<uint(bit)) != 0 {
+				coef |= 1 << uint(i)
+			}
+		}
+		rhs := target&(1<<uint(bit)) != 0
+		if coef == 0 {
+			if rhs {
+				return nil, false // inconsistent
+			}
+			continue
+		}
+		eqs = append(eqs, eq{coef, rhs})
+	}
+	if n > 64 {
+		return nil, false // solver supports up to 64 suspect bits/word
+	}
+	// Gaussian elimination on variables.
+	pivotOf := make([]int, 0, n)
+	row := 0
+	for v := 0; v < n && row < len(eqs); v++ {
+		// Find a row at/after 'row' with variable v.
+		p := -1
+		for i := row; i < len(eqs); i++ {
+			if eqs[i].coef&(1<<uint(v)) != 0 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		eqs[row], eqs[p] = eqs[p], eqs[row]
+		for i := range eqs {
+			if i != row && eqs[i].coef&(1<<uint(v)) != 0 {
+				eqs[i].coef ^= eqs[row].coef
+				eqs[i].rhs = eqs[i].rhs != eqs[row].rhs
+			}
+		}
+		pivotOf = append(pivotOf, v)
+		row++
+	}
+	// Unique iff every variable got a pivot.
+	if len(pivotOf) < n {
+		return nil, false
+	}
+	// Back-substitute (matrix is diagonal on pivots now).
+	for i, v := range pivotOf {
+		if eqs[i].rhs {
+			sel[v] = true
+		}
+	}
+	// Consistency: remaining equations must be 0 = 0.
+	for i := len(pivotOf); i < len(eqs); i++ {
+		if eqs[i].coef == 0 && eqs[i].rhs {
+			return nil, false
+		}
+	}
+	return sel, true
+}
+
+func allZero(vs []*bitvec.Vector) bool {
+	for _, v := range vs {
+		if !v.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// IntegrityReport is the result of a non-mutating consistency audit.
+type IntegrityReport struct {
+	// FaultyWords counts words whose horizontal code flags an error.
+	FaultyWords int
+	// ParityMismatches counts vertical groups whose stored parity row
+	// disagrees with the data.
+	ParityMismatches int
+}
+
+// Clean reports whether the audit found nothing.
+func (r IntegrityReport) Clean() bool {
+	return r.FaultyWords == 0 && r.ParityMismatches == 0
+}
+
+// VerifyIntegrity audits the array without modifying anything: every
+// word's horizontal code is checked and every vertical parity row is
+// recomputed and compared. Diagnostics and tests use it to distinguish
+// "clean", "recoverable", and "silently inconsistent" states.
+func (a *Array) VerifyIntegrity() IntegrityReport {
+	rep := IntegrityReport{}
+	for r := 0; r < a.cfg.Rows; r++ {
+		for w := 0; w < a.cfg.WordsPerRow; w++ {
+			if a.checkWord(r, w) != 0 {
+				rep.FaultyWords++
+			}
+		}
+	}
+	for _, m := range a.verticalMismatch() {
+		if !m.IsZero() {
+			rep.ParityMismatches++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,224 @@
+package vlsi
+
+import (
+	"fmt"
+	"math"
+)
+
+// ArrayParams describes one SRAM bank to be organised and costed.
+type ArrayParams struct {
+	// Bits is the total storage of the bank, including check bits.
+	Bits int
+	// AccessBits is the number of bits delivered per access (one
+	// codeword: data + check bits).
+	AccessBits int
+	// Interleave is the physical bit interleaving degree d: d codewords
+	// share each physical row, so an access activates d*AccessBits
+	// bitlines (the pseudo-read cost of §2.2).
+	Interleave int
+	// Ports is the number of read/write ports.
+	Ports int
+}
+
+// Validate checks the parameters.
+func (p ArrayParams) Validate() error {
+	if p.Bits <= 0 || p.AccessBits <= 0 {
+		return fmt.Errorf("vlsi: invalid array params %+v", p)
+	}
+	if p.Interleave <= 0 || p.Ports <= 0 {
+		return fmt.Errorf("vlsi: interleave/ports must be positive: %+v", p)
+	}
+	if p.Bits < p.AccessBits*p.Interleave {
+		return fmt.Errorf("vlsi: bank smaller than one physical row: %+v", p)
+	}
+	return nil
+}
+
+// Organization is one point in the design space.
+type Organization struct {
+	// Ndbl is the number of bitline divisions (sub-array stacking).
+	Ndbl int
+	// Ndwl is the number of wordline divisions.
+	Ndwl int
+	// ColMult widens the array: the physical row holds ColMult word
+	// groups side by side (akin to Cacti's Nspd).
+	ColMult int
+}
+
+// Metrics reports the modelled cost of an organisation.
+type Metrics struct {
+	// Org is the organisation that produced these numbers.
+	Org Organization
+	// DelayNS is the access time in nanoseconds.
+	DelayNS float64
+	// EnergyPJ is the dynamic read energy per access in picojoules.
+	EnergyPJ float64
+	// AreaMM2 is the bank area in square millimetres.
+	AreaMM2 float64
+}
+
+// Objective selects what the explorer optimises, mirroring the paper's
+// four Cacti objective functions (Fig. 2).
+type Objective int
+
+const (
+	// DelayOpt minimises access time.
+	DelayOpt Objective = iota
+	// PowerOpt minimises read energy.
+	PowerOpt
+	// DelayAreaOpt minimises the delay-area product.
+	DelayAreaOpt
+	// BalancedOpt minimises the delay*energy*area product.
+	BalancedOpt
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case DelayOpt:
+		return "delay-opt"
+	case PowerOpt:
+		return "power-opt"
+	case DelayAreaOpt:
+		return "delay+area-opt"
+	case BalancedOpt:
+		return "balanced-opt"
+	default:
+		return "unknown"
+	}
+}
+
+// minSubarrayCols is the minimum practical sub-array width in columns
+// (sense-amp pitch and layout efficiency forbid very narrow stripes).
+// All columns of the activated sub-array row swing on an access, so
+// this width is also the energy floor an access pays regardless of how
+// few bits it needs — the mechanism that makes small interleave degrees
+// nearly free (Fig. 2(b)) while degrees whose d*codeword exceeds the
+// floor pay linearly (Fig. 2(c)).
+const minSubarrayCols = 512
+
+// minSubarrayRows keeps bitline segments realistic.
+const minSubarrayRows = 64
+
+// Cost evaluates one organisation. Geometry:
+//
+//	totalCols  = Interleave * AccessBits * ColMult
+//	totalRows  = Bits / totalCols
+//	colsPerSub = totalCols / Ndwl     (>= minSubarrayCols where possible)
+//	rowsPerSub = totalRows / Ndbl     (>= minSubarrayRows)
+//	activated  = max(Interleave*AccessBits, colsPerSub)
+//
+// An access decodes, drives one wordline segment, discharges the
+// activated bitlines over rowsPerSub of load, senses AccessBits outputs
+// through the Interleave:1 column mux, and drives them across the bank.
+func Cost(t Tech, p ArrayParams, org Organization) (Metrics, error) {
+	if err := p.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if org.Ndbl <= 0 || org.Ndwl <= 0 || org.ColMult <= 0 {
+		return Metrics{}, fmt.Errorf("vlsi: invalid organisation %+v", org)
+	}
+	totalCols := p.Interleave * p.AccessBits * org.ColMult
+	totalRows := p.Bits / totalCols
+	if totalRows < org.Ndbl || totalRows == 0 {
+		return Metrics{}, fmt.Errorf("vlsi: organisation %+v leaves no rows", org)
+	}
+	if totalRows > 8*totalCols {
+		return Metrics{}, fmt.Errorf("vlsi: aspect ratio too tall (%dx%d)", totalRows, totalCols)
+	}
+	rowsPerSub := float64(totalRows) / float64(org.Ndbl)
+	if rowsPerSub < minSubarrayRows {
+		return Metrics{}, fmt.Errorf("vlsi: sub-array too short (%v rows)", rowsPerSub)
+	}
+	colsPerSub := float64(totalCols) / float64(org.Ndwl)
+	minCols := float64(minSubarrayCols)
+	if float64(totalCols) < minCols {
+		minCols = float64(totalCols)
+	}
+	if colsPerSub < minCols || colsPerSub < float64(p.AccessBits) {
+		return Metrics{}, fmt.Errorf("vlsi: sub-array too narrow (%v cols)", colsPerSub)
+	}
+	activatedCols := colsPerSub
+	if minAct := float64(p.Interleave * p.AccessBits); activatedCols < minAct {
+		activatedCols = minAct
+	}
+
+	portFactor := 1 + t.PortAreaFactor*float64(p.Ports-1)
+	nSub := float64(org.Ndbl * org.Ndwl)
+
+	// --- area ---
+	cellArea := float64(p.Bits) * t.CellArea * portFactor // um^2
+	saStrips := nSub * colsPerSub * t.CellW * (t.SubarrayOverheadH * t.CellH)
+	decStrips := nSub * rowsPerSub * t.CellH * (t.SubarrayOverheadW * t.CellW)
+	areaUM2 := cellArea + saStrips + decStrips
+	areaMM2 := areaUM2 / 1e6
+	edgeMM := math.Sqrt(areaMM2)
+
+	// --- energy (fJ) ---
+	addrBits := math.Log2(float64(totalRows))
+	eDecode := t.EDecodePerBit*addrBits + 2.0*nSub // global + predecode fanout
+	eWordline := activatedCols * t.CWordlinePerCell * portFactor * t.Vdd * t.Vdd
+	eBitline := activatedCols * t.CBitlinePerCell * rowsPerSub * t.Vdd * t.VSwing * portFactor
+	eSense := float64(p.AccessBits) * t.ESenseAmp
+	eMux := float64(p.Interleave*p.AccessBits) * t.EMuxPerCol
+	eOut := float64(p.AccessBits) * (edgeMM * 1000) * t.CWirePerUM * t.Vdd * t.Vdd * 0.1
+	energyFJ := eDecode + eWordline + eBitline + eSense + eMux + eOut
+	energyPJ := energyFJ / 1000
+
+	// --- delay (ns) ---
+	tDecode := t.TGate * (addrBits + 6)
+	segLenMM := colsPerSub * t.CellW / 1000
+	tWordline := t.TWordlinePerMM2 * segLenMM * segLenMM
+	tBitline := t.TBitlinePerRow * rowsPerSub
+	tTree := t.TGate * math.Sqrt(nSub) // H-tree hops to reach the sub-array
+	tMux := t.TGate * (math.Log2(float64(p.Interleave)) + 1)
+	tOut := 0.08 * edgeMM
+	delayNS := tDecode + tWordline + tBitline + tTree + t.TSenseAmp + tMux + tOut
+
+	return Metrics{Org: org, DelayNS: delayNS, EnergyPJ: energyPJ, AreaMM2: areaMM2}, nil
+}
+
+// Explore sweeps the organisation space and returns the best point
+// under the given objective.
+func Explore(t Tech, p ArrayParams, obj Objective) (Metrics, error) {
+	if err := p.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	pow2 := []int{1, 2, 4, 8, 16, 32, 64}
+	cms := []int{1, 2, 4, 8}
+	best := Metrics{}
+	found := false
+	for _, ndbl := range pow2 {
+		for _, ndwl := range pow2 {
+			for _, cm := range cms {
+				m, err := Cost(t, p, Organization{Ndbl: ndbl, Ndwl: ndwl, ColMult: cm})
+				if err != nil {
+					continue
+				}
+				if !found || score(m, obj) < score(best, obj) {
+					best = m
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return Metrics{}, fmt.Errorf("vlsi: no feasible organisation for %+v", p)
+	}
+	return best, nil
+}
+
+func score(m Metrics, obj Objective) float64 {
+	switch obj {
+	case DelayOpt:
+		return m.DelayNS
+	case PowerOpt:
+		return m.EnergyPJ
+	case DelayAreaOpt:
+		return m.DelayNS * m.AreaMM2
+	case BalancedOpt:
+		return m.DelayNS * m.EnergyPJ * m.AreaMM2
+	default:
+		return m.DelayNS
+	}
+}

@@ -1,0 +1,86 @@
+// Package vlsi provides an analytical SRAM area/delay/energy model in
+// the spirit of Cacti 4.0 (the paper's modelling tool), including the
+// design-space exploration over sub-array partitioning and the cost of
+// physical bit interleaving and EDC/ECC coding logic. The paper used a
+// modified Cacti 4.0 at 70 nm; this package substitutes a simplified but
+// structurally faithful model: absolute numbers are approximate, the
+// *relative* overheads (the quantities the paper reports) track the
+// same mechanisms — pseudo-read bitline energy growing with interleave
+// degree, bitline segmentation as the power lever, check-bit storage
+// and syndrome-logic costs growing with code strength.
+package vlsi
+
+// Tech bundles the process-dependent constants. Values approximate a
+// 70 nm node; they are exposed so studies can re-derive results under
+// different assumptions.
+type Tech struct {
+	// CellW and CellH are the SRAM cell dimensions in micrometres.
+	CellW, CellH float64
+	// CellArea is the 6T cell area in um^2 (kept separate from W*H to
+	// allow non-rectangular accounting).
+	CellArea float64
+	// CBitlinePerCell is the bitline capacitance contributed by one
+	// cell, in femtofarads.
+	CBitlinePerCell float64
+	// CWordlinePerCell is the wordline capacitance per cell, in fF.
+	CWordlinePerCell float64
+	// CWirePerUM is routing capacitance per micrometre, in fF.
+	CWirePerUM float64
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// VSwing is the read bitline swing in volts.
+	VSwing float64
+	// ESenseAmp is the per-sense-amp energy per access, in fJ.
+	ESenseAmp float64
+	// EXorGate is the energy of one 2-input XOR evaluation, in fJ.
+	EXorGate float64
+	// EMuxPerCol is the column-mux and pseudo-read I/O energy per
+	// interleaved column delivered to the mux, in fJ. This term scales
+	// with Interleave*AccessBits no matter how the array is organised —
+	// the unavoidable cost of bit interleaving (§2.2).
+	EMuxPerCol float64
+	// EDecodePerBit is decoder energy per address bit, in fJ.
+	EDecodePerBit float64
+	// TGate is one logic gate delay (FO4-ish), in nanoseconds.
+	TGate float64
+	// TSenseAmp is the sense amplifier resolution time, in ns.
+	TSenseAmp float64
+	// TBitlinePerRow is bitline discharge time per row of load, in ns.
+	TBitlinePerRow float64
+	// TWordlinePerMM2 scales the quadratic (RC) wordline delay, ns/mm^2.
+	TWordlinePerMM2 float64
+	// SubarrayOverheadH is the height of a sense-amp/precharge strip in
+	// cell-heights, charged once per bitline division.
+	SubarrayOverheadH float64
+	// SubarrayOverheadW is the width of a row-decoder strip in
+	// cell-widths, charged once per wordline division.
+	SubarrayOverheadW float64
+	// PortAreaFactor is the per-extra-port multiplier on cell area.
+	PortAreaFactor float64
+}
+
+// Default70nm returns the constants used for all paper-reproduction
+// studies.
+func Default70nm() Tech {
+	return Tech{
+		CellW:             1.1,
+		CellH:             0.9,
+		CellArea:          1.0,
+		CBitlinePerCell:   1.80,
+		CWordlinePerCell:  1.20,
+		CWirePerUM:        0.20,
+		Vdd:               1.0,
+		VSwing:            0.20,
+		ESenseAmp:         2.0,
+		EXorGate:          0.18,
+		EMuxPerCol:        0.9,
+		EDecodePerBit:     12.0,
+		TGate:             0.018,
+		TSenseAmp:         0.12,
+		TBitlinePerRow:    0.0022,
+		TWordlinePerMM2:   0.45,
+		SubarrayOverheadH: 6.0,
+		SubarrayOverheadW: 10.0,
+		PortAreaFactor:    0.65,
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("profiles = %d, want 6", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"OLTP", "DSS", "Web", "Moldyn", "Ocean", "Sparse"} {
+		if !names[want] {
+			t.Errorf("missing paper workload %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("OLTP")
+	if err != nil || p.Name != "OLTP" {
+		t.Fatalf("ByName: %v %v", p, err)
+	}
+	if _, err := ByName("TPC-E"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestValidateRejectsBadFractions(t *testing.T) {
+	p, _ := ByName("OLTP")
+	p.MemFrac = 1.5
+	if p.Validate() == nil {
+		t.Fatal("MemFrac > 1 accepted")
+	}
+	p, _ = ByName("OLTP")
+	p.HotLines = 0
+	if p.Validate() == nil {
+		t.Fatal("zero hot set accepted")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p, _ := ByName("Web")
+	a := MustStream(p, 1, 0, 42)
+	b := MustStream(p, 1, 0, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	c := MustStream(p, 1, 0, 43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatal("different seeds produced near-identical traces")
+	}
+}
+
+func TestStreamStatisticsMatchProfile(t *testing.T) {
+	for _, p := range Profiles() {
+		s := MustStream(p, 0, 0, 7)
+		const n = 200000
+		mem, writes := 0, 0
+		for i := 0; i < n; i++ {
+			in := s.Next()
+			if in.IsMem {
+				mem++
+				if in.IsWrite {
+					writes++
+				}
+			}
+		}
+		gotMem := float64(mem) / n
+		if math.Abs(gotMem-p.MemFrac) > 0.01 {
+			t.Errorf("%s: mem frac %v, want %v", p.Name, gotMem, p.MemFrac)
+		}
+		gotWr := float64(writes) / float64(mem)
+		if math.Abs(gotWr-p.WriteFrac) > 0.02 {
+			t.Errorf("%s: write frac %v, want %v", p.Name, gotWr, p.WriteFrac)
+		}
+	}
+}
+
+func TestStreamsAreDisjointAcrossThreads(t *testing.T) {
+	p, _ := ByName("Moldyn")
+	p.SharedFrac = 0 // private accesses only
+	a := MustStream(p, 0, 0, 1)
+	b := MustStream(p, 0, 1, 1)
+	seenA := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		if in := a.Next(); in.IsMem {
+			seenA[in.Addr>>6] = true
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		if in := b.Next(); in.IsMem {
+			if seenA[in.Addr>>6] {
+				t.Fatal("private regions overlap across threads")
+			}
+		}
+	}
+}
+
+func TestSharedRegionIsShared(t *testing.T) {
+	p, _ := ByName("OLTP")
+	a := MustStream(p, 0, 0, 1)
+	b := MustStream(p, 3, 0, 1)
+	seenA := map[uint64]bool{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if in := a.Next(); in.IsMem && in.Addr >= sharedBase && in.Addr < sharedBase+uint64(p.SharedLines)*64 {
+			seenA[in.Addr>>6] = true
+		}
+	}
+	overlap := 0
+	for i := 0; i < n; i++ {
+		if in := b.Next(); in.IsMem && seenA[in.Addr>>6] {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		t.Fatal("no cross-core overlap in shared region")
+	}
+}
+
+func TestIFetch(t *testing.T) {
+	p, _ := ByName("OLTP")
+	s := MustStream(p, 0, 0, 5)
+	misses := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.IFetchMiss() {
+			misses++
+			if a := s.IFetchAddr(); a == 0 {
+				t.Fatal("zero ifetch address")
+			}
+		}
+	}
+	got := float64(misses) / n
+	if math.Abs(got-p.IFetchMissRate) > 0.004 {
+		t.Fatalf("ifetch miss rate %v, want %v", got, p.IFetchMissRate)
+	}
+}

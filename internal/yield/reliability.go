@@ -1,0 +1,61 @@
+package yield
+
+import (
+	"math"
+)
+
+// ReliabilityConfig parameterises the Fig. 8(b) experiment: a system of
+// caches whose SECDED has been spent correcting manufacture-time hard
+// errors, exposed to a soft-error flux. A soft error striking a word
+// that already holds a hard fault produces a double error SECDED cannot
+// correct; the system survives a period only if every soft error lands
+// in a fault-free word. 2D coding corrects those doubles, keeping the
+// success probability at 1.
+type ReliabilityConfig struct {
+	// Caches is the number of cache instances (the paper uses 10).
+	Caches int
+	// Geometry describes each cache.
+	Geometry Geometry
+	// FITPerMb is the soft-error rate (the paper uses 1000 FIT/Mb).
+	FITPerMb float64
+	// HardErrorRate is the per-cell probability of a manufacture-time
+	// hard fault (the paper sweeps 0.0005%..0.005%).
+	HardErrorRate float64
+	// TwoD enables 2D multi-bit correction on top of SECDED.
+	TwoD bool
+}
+
+// HoursPerYear follows the 8766-hour convention (365.25 days).
+const HoursPerYear = 8766.0
+
+// SuccessProbability returns the probability that, over the given
+// number of years, every soft error is correctable: with 2D coding this
+// is 1; without it, each soft error must avoid the words already
+// holding a hard fault.
+func (c ReliabilityConfig) SuccessProbability(years float64) float64 {
+	if years <= 0 {
+		return 1
+	}
+	if c.TwoD {
+		return 1
+	}
+	totalBits := float64(c.Caches) * float64(c.Geometry.Bits())
+	// Soft-error arrival rate for the whole system, events per hour.
+	lambda := c.FITPerMb * (totalBits / 1e6) / 1e9
+	// Fraction of bits residing in words that contain >= 1 hard fault.
+	pWordFaulty := 1 - math.Pow(1-c.HardErrorRate, float64(c.Geometry.WordBits))
+	// A soft error in a faulty word is fatal; arrivals thin to a
+	// Poisson process of fatal events.
+	fatalRate := lambda * pWordFaulty
+	return math.Exp(-fatalRate * years * HoursPerYear)
+}
+
+// ReliabilityCurve evaluates SuccessProbability at integer years
+// 0..maxYears inclusive.
+func (c ReliabilityConfig) ReliabilityCurve(maxYears int) []float64 {
+	out := make([]float64, maxYears+1)
+	for y := 0; y <= maxYears; y++ {
+		out[y] = c.SuccessProbability(float64(y))
+	}
+	return out
+}
