@@ -1,0 +1,242 @@
+// Soak runs the online resilience engine under fire: N client
+// goroutines read and write through a ResilientCache while a
+// continuous Poisson fault storm upsets the protected arrays and the
+// traffic-aware background scrubber sweeps them, for a bounded
+// duration. Every client checks its reads against a private shadow
+// model using the loss-epoch protocol: a mismatch is legitimate only
+// if the set's loss epoch advanced (a reported DUE led to a repair or
+// decommission) since the value was written — otherwise it is SILENT
+// corruption and the run fails. On success the health report is
+// printed and the process exits 0.
+//
+// The storm flips at most one bit per currently-clean word per event —
+// within the horizontal code's guaranteed detection — so every
+// corruption is detectable; whether it is *correctable* is up to the
+// 2D code, and the escalation ladder absorbs the remainder. This keeps
+// "zero silent corruptions" a hard invariant rather than a statistical
+// hope.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twodcache"
+	"twodcache/internal/fault"
+	"twodcache/internal/twod"
+)
+
+func main() {
+	var (
+		duration      = flag.Duration("duration", 2*time.Second, "soak duration")
+		clients       = flag.Int("clients", 4, "concurrent reader/writer goroutines")
+		sets          = flag.Int("sets", 64, "cache sets")
+		ways          = flag.Int("ways", 4, "cache ways")
+		banks         = flag.Int("banks", 8, "independently locked banks")
+		lineBytes     = flag.Int("line", 64, "line size in bytes")
+		secded        = flag.Bool("secded", false, "SECDED horizontal code instead of EDC8")
+		spares        = flag.Int("spares", 8, "spare-row budget for remapping")
+		faultInterval = flag.Duration("fault-interval", 500*time.Microsecond, "mean time between fault events")
+		scrubInterval = flag.Duration("scrub-interval", 2*time.Millisecond, "pause between scrub sweeps")
+		highRate      = flag.Float64("scrub-high-rate", 200_000, "accesses/sec above which the scrubber backs off")
+		seed          = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *clients < 1 {
+		fmt.Fprintln(os.Stderr, "soak: need at least one client")
+		os.Exit(2)
+	}
+
+	backing := twodcache.NewMemoryBacking(*lineBytes)
+	eng, err := twodcache.NewResilientCache(twodcache.ProtectedCacheConfig{
+		Sets: *sets, Ways: *ways, LineBytes: *lineBytes,
+		SECDEDHorizontal: *secded, Banks: *banks,
+	}, backing, twodcache.ResilienceConfig{SpareRows: *spares})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(2)
+	}
+	cache := eng.Cache()
+	scrubber := eng.NewScrubber(twodcache.ScrubberConfig{
+		Interval: *scrubInterval,
+		HighRate: *highRate,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	var (
+		silent     atomic.Uint64 // UNACCOUNTED mismatches: must stay zero
+		accounted  atomic.Uint64 // mismatches explained by a loss-epoch advance
+		reported   atomic.Uint64 // DUEs surfaced to clients even after the ladder
+		clientOps  atomic.Uint64
+		wg         sync.WaitGroup
+		scrubDone  = make(chan struct{})
+		stormDone  = make(chan struct{})
+		stormCount atomic.Uint64
+	)
+
+	// Background scrubber.
+	go func() {
+		defer close(scrubDone)
+		_ = scrubber.Run(ctx)
+	}()
+
+	// Continuous Poisson fault storm. Each event lands under the bank
+	// lock so it races traffic at event granularity, never mid-word,
+	// and only strikes currently-clean words (see package comment).
+	go func() {
+		defer close(stormDone)
+		storm := fault.NewStorm(fault.StormConfig{Seed: *seed, MeanInterval: *faultInterval})
+		rng := rand.New(rand.NewSource(*seed + 7))
+		oneEvent := func() {
+			bi := rng.Intn(cache.NumBanks())
+			hitTags := rng.Intn(4) == 0
+			cache.WithBankLock(bi, func(data, tags *twod.Array) {
+				a := data
+				if hitTags {
+					a = tags
+				}
+				p := storm.NextEvent(a.Rows(), a.RowBits())
+				for _, fl := range p.Flips {
+					w, _ := a.Layout().Locate(fl.Col)
+					if _, ok := a.TryRead(fl.Row, w); ok {
+						a.FlipBit(fl.Row, fl.Col)
+					}
+				}
+				stormCount.Add(1)
+			})
+		}
+		// Sub-millisecond inter-arrival times are far below Go timer
+		// granularity, so drive the Poisson process from a 1ms ticker
+		// and drain every arrival that fell due within the tick.
+		const tick = time.Millisecond
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		pending := storm.NextDelay()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			for pending -= tick; pending <= 0; pending += storm.NextDelay() {
+				oneEvent()
+			}
+		}
+	}()
+
+	// Clients: disjoint line ownership (line % clients == id), private
+	// shadow model, loss-epoch accounting.
+	lines := uint64(4 * *sets) // 4x the sets: plenty of conflict misses
+	for id := 0; id < *clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(100+id)))
+			shadow := map[uint64]byte{}
+			wep := map[uint64]uint64{}
+			var owned []uint64
+			for l := uint64(id); l < lines; l += uint64(*clients) {
+				owned = append(owned, l)
+			}
+			setOf := func(addr uint64) int {
+				return int((addr / uint64(*lineBytes)) % uint64(*sets))
+			}
+			for ctx.Err() == nil {
+				clientOps.Add(1)
+				l := owned[rng.Intn(len(owned))]
+				addr := l*uint64(*lineBytes) + uint64(rng.Intn(*lineBytes))
+				set := setOf(addr)
+				if rng.Intn(5) < 2 { // 40% writes
+					val := byte(rng.Intn(256))
+					// Capture the epoch BEFORE the write: a degrade racing
+					// the write then shows an advance, never a stale record.
+					e0 := cache.LossEpoch(set)
+					if err := eng.Write(addr, []byte{val}); err != nil {
+						reported.Add(1)
+						cache.Repair(addr)
+						delete(shadow, addr)
+						continue
+					}
+					shadow[addr] = val
+					wep[addr] = e0
+					continue
+				}
+				want, tracked := shadow[addr]
+				got, err := eng.Read(addr, 1)
+				if err != nil {
+					// The ladder itself gave up — still a *reported* DUE,
+					// never silent. Repair and drop the stale expectation.
+					reported.Add(1)
+					cache.Repair(addr)
+					delete(shadow, addr)
+					continue
+				}
+				if tracked && got[0] != want {
+					if cache.LossEpoch(set) == wep[addr] {
+						silent.Add(1)
+						fmt.Fprintf(os.Stderr,
+							"soak: SILENT corruption at %#x: got %d want %d (loss epoch unmoved)\n",
+							addr, got[0], want)
+					} else {
+						accounted.Add(1)
+					}
+					// Either way the cache's view is now authoritative.
+					e0 := cache.LossEpoch(set)
+					shadow[addr] = got[0]
+					wep[addr] = e0
+				}
+			}
+
+			// Final sweep: after the storm stops, every tracked byte must
+			// still be explained.
+			<-stormDone
+			for addr, want := range shadow {
+				got, err := eng.Read(addr, 1)
+				if err != nil {
+					reported.Add(1)
+					cache.Repair(addr)
+					continue
+				}
+				if got[0] != want {
+					if cache.LossEpoch(setOf(addr)) == wep[addr] {
+						silent.Add(1)
+						fmt.Fprintf(os.Stderr,
+							"soak: SILENT corruption at %#x on final sweep: got %d want %d\n",
+							addr, got[0], want)
+					} else {
+						accounted.Add(1)
+					}
+				}
+			}
+		}(id)
+	}
+
+	wg.Wait()
+	cancel()
+	<-scrubDone
+	<-stormDone
+	if err := eng.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "soak: final flush:", err)
+	}
+
+	rep := eng.Report()
+	fmt.Printf("soak: %v, %d clients, %d client ops, %d fault events\n",
+		*duration, *clients, clientOps.Load(), stormCount.Load())
+	fmt.Print(rep.String())
+	fmt.Printf("  accounting:  %d accounted losses, %d ladder-exhausted DUEs, %d SILENT corruptions\n",
+		accounted.Load(), reported.Load(), silent.Load())
+
+	if silent.Load() > 0 {
+		fmt.Println("soak: FAIL — silent corruption detected")
+		os.Exit(1)
+	}
+	fmt.Println("soak: PASS — every mismatch accounted for by a reported DUE/decommission")
+}

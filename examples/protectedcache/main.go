@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,7 +31,7 @@ func main() {
 		if rng.Intn(2) == 0 {
 			v := byte(rng.Intn(256))
 			err := cache.Write(addr, []byte{v})
-			if err == twodcache.ErrCacheUncorrectable {
+			if errors.Is(err, twodcache.ErrCacheUncorrectable) {
 				// The machine-check path: detected, never silent. The OS
 				// reloads the set from memory; unflushed dirty data in it
 				// is lost, so drop those addresses from the reference.
@@ -44,7 +45,7 @@ func main() {
 			ref[addr] = v
 		} else {
 			got, err := cache.Read(addr, 1)
-			if err == twodcache.ErrCacheUncorrectable {
+			if errors.Is(err, twodcache.ErrCacheUncorrectable) {
 				mces++
 				cache.Repair(addr)
 				dropSet(ref, addr)

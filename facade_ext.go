@@ -9,6 +9,7 @@ import (
 	"twodcache/internal/bist"
 	"twodcache/internal/pcache"
 	"twodcache/internal/redundancy"
+	"twodcache/internal/resilience"
 	"twodcache/internal/scrub"
 	"twodcache/internal/trace"
 	"twodcache/internal/workload"
@@ -148,5 +149,47 @@ func NewProtectedCache(cfg ProtectedCacheConfig, backing CacheBacking) (*Protect
 
 // ErrCacheUncorrectable is the ProtectedCache's machine-check
 // equivalent: an error footprint beyond the 2D coverage was detected.
-// Recover with ProtectedCache.Repair.
+// Recover with ProtectedCache.Repair, or let a ResilientCache's
+// escalation ladder handle it. Match with errors.Is; the concrete
+// error is always a *CacheUncorrectableError carrying the location.
 var ErrCacheUncorrectable = pcache.ErrUncorrectable
+
+// CacheUncorrectableError is the located machine-check: which array
+// (data or tags), set, and way tripped beyond 2D coverage. It wraps
+// ErrCacheUncorrectable.
+type CacheUncorrectableError = pcache.UncorrectableError
+
+// --- online resilience engine ------------------------------------------------
+
+// ResilienceConfig tunes the recovery escalation ladder (retry → word
+// recovery → full 2D recovery → decommission/remap).
+type ResilienceConfig = resilience.Config
+
+// ResilientCache wraps a ProtectedCache with the online escalation
+// ladder: its Read/Write/Flush never surface a DUE that graceful
+// degradation could absorb, and its Report exposes the health API.
+type ResilientCache = resilience.Engine
+
+// HealthReport is the resilience health snapshot: DUE rate, MTTR,
+// per-rung escalation counts, scrub activity, and capacity lost to
+// decommissioning.
+type HealthReport = resilience.Report
+
+// ScrubberConfig tunes the background scrubber (sweep interval,
+// traffic-awareness threshold, catch-up bound).
+type ScrubberConfig = resilience.ScrubberConfig
+
+// CacheScrubber is the traffic-aware background sweeper; start it with
+// Run(ctx) and stop it by cancelling the context.
+type CacheScrubber = resilience.Scrubber
+
+// NewResilientCache builds a protected cache over the backing store
+// and wraps it with the recovery escalation ladder. Attach a
+// background scrubber with ResilientCache.NewScrubber.
+func NewResilientCache(cfg ProtectedCacheConfig, backing CacheBacking, rcfg ResilienceConfig) (*ResilientCache, error) {
+	c, err := pcache.New(cfg, backing)
+	if err != nil {
+		return nil, err
+	}
+	return resilience.New(c, rcfg), nil
+}

@@ -2,6 +2,7 @@ package twodcache
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"twodcache/internal/redundancy"
@@ -105,5 +106,63 @@ func TestPublicErrorInjectionProtection(t *testing.T) {
 	}
 	if r.Recoveries == 0 {
 		t.Fatal("no recovery events recorded")
+	}
+}
+
+func TestPublicResilientCache(t *testing.T) {
+	backing := NewMemoryBacking(64)
+	eng, err := NewResilientCache(ProtectedCacheConfig{
+		Sets: 32, Ways: 2, LineBytes: 64, Banks: 1,
+	}, backing, ResilienceConfig{SpareRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Write(0, []byte("resilient")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant the guaranteed beyond-coverage pair (rows 0 and 32 share a
+	// vertical group; codeword bits 0 and 8 share an EDC8 parity
+	// column) and let the ladder absorb it: the read must survive.
+	if err := eng.Write(16*64, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	da := eng.Cache().DataArray()
+	da.FlipBit(0, da.Layout().PhysColumn(0, 0))
+	da.FlipBit(32, da.Layout().PhysColumn(0, 8))
+
+	got, err := eng.Read(0, 9)
+	if err != nil || string(got) != "resilient" {
+		t.Fatalf("read through ladder: %q %v", got, err)
+	}
+	rep := eng.Report()
+	if rep.DUEs == 0 || rep.Decommissions == 0 {
+		t.Fatalf("ladder never escalated: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty health report")
+	}
+
+	s := eng.NewScrubber(ScrubberConfig{})
+	s.Sweep()
+	if eng.Report().ScrubPasses != 1 {
+		t.Fatal("scrub pass not reported")
+	}
+}
+
+func TestPublicUncorrectableTaxonomy(t *testing.T) {
+	var err error = &CacheUncorrectableError{Array: "data", Set: 3, Way: 1}
+	if !errors.Is(err, ErrCacheUncorrectable) {
+		t.Fatal("typed error does not wrap the sentinel")
+	}
+	var ue *CacheUncorrectableError
+	if !errors.As(err, &ue) || ue.Set != 3 || ue.Way != 1 {
+		t.Fatalf("errors.As lost the location: %+v", ue)
 	}
 }

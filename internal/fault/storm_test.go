@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStormDelaysAreExponential(t *testing.T) {
+	s := NewStorm(StormConfig{Seed: 1, MeanInterval: 2 * time.Millisecond})
+	const n = 5000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		d := s.NextDelay()
+		if d <= 0 {
+			t.Fatalf("non-positive delay %v", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < time.Millisecond || mean > 4*time.Millisecond {
+		t.Fatalf("sample mean %v too far from configured 2ms", mean)
+	}
+}
+
+func TestStormEventsInBounds(t *testing.T) {
+	s := NewStorm(StormConfig{Seed: 2, MeanInterval: time.Millisecond})
+	const rows, cols = 64, 576
+	for i := 0; i < 500; i++ {
+		p := s.NextEvent(rows, cols)
+		if len(p.Flips) == 0 {
+			continue // sparse cluster may sample empty
+		}
+		for _, f := range p.Flips {
+			if f.Row < 0 || f.Row >= rows || f.Col < 0 || f.Col >= cols {
+				t.Fatalf("event %d flip %+v out of %dx%d", i, f, rows, cols)
+			}
+		}
+	}
+	if s.Events() != 500 {
+		t.Fatalf("event count %d", s.Events())
+	}
+}
+
+func TestStormDefaults(t *testing.T) {
+	s := NewStorm(StormConfig{})
+	if d := s.NextDelay(); d <= 0 {
+		t.Fatal("default storm produced non-positive delay")
+	}
+	if p := s.NextEvent(8, 64); p.Kind == "" {
+		t.Fatal("default storm produced kindless pattern")
+	}
+}

@@ -1,19 +1,28 @@
 // Package pcache assembles the 2D-coded arrays into a complete,
 // functional, set-associative cache: real data bytes live in
-// twod-protected data sub-arrays, and the tag/state store lives in a
-// twod-protected tag sub-array — "cache tag sub-arrays are handled
+// twod-protected data sub-arrays, and the tag/state store lives in
+// twod-protected tag sub-arrays — "cache tag sub-arrays are handled
 // identically" (§4). The cache serves loads and stores against a
 // backing memory, write-back write-allocate, while arbitrary bit
 // errors injected into any of its arrays are detected by the
 // horizontal codes and repaired by 2D recovery, transparently to the
-// caller. This is the end-to-end artefact a downstream user adopts:
-// not a codec, a cache.
+// caller.
+//
+// The cache is physically banked, as real SRAM macros are: the sets
+// are partitioned across independently locked bank pairs (one data
+// sub-array plus one tag sub-array each), so traffic to different
+// banks never contends and clean reads within a bank proceed under a
+// shared lock (twod.Array.TryRead). All of Read, Write, Flush, fault
+// injection (WithBankLock), scrubbing (ScrubBank) and degradation
+// (Decommission) are safe to call from many goroutines concurrently.
 package pcache
 
 import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"twodcache/internal/bitvec"
 	"twodcache/internal/ecc"
@@ -30,6 +39,11 @@ type Config struct {
 	// SECDEDHorizontal selects in-line single-bit correction (yield
 	// configuration) instead of EDC8 detection-only horizontal codes.
 	SECDEDHorizontal bool
+	// Banks is the number of independently locked bank pairs the sets
+	// are partitioned into (a power of two ≤ Sets). Zero selects
+	// min(8, Sets). Each bank is its own 2D protection domain, like the
+	// physical sub-arrays of §4.
+	Banks int
 }
 
 // Validate checks the configuration.
@@ -46,10 +60,27 @@ func (c Config) Validate() error {
 	if c.VerticalGroups < 0 {
 		return fmt.Errorf("pcache: negative vertical groups")
 	}
+	if c.Banks != 0 {
+		if c.Banks < 0 || c.Banks&(c.Banks-1) != 0 || c.Banks > c.Sets {
+			return fmt.Errorf("pcache: banks %d must be a power of two ≤ sets %d", c.Banks, c.Sets)
+		}
+	}
 	return nil
 }
 
+// effectiveBanks resolves the bank count default.
+func (c Config) effectiveBanks() int {
+	if c.Banks != 0 {
+		return c.Banks
+	}
+	if c.Sets < 8 {
+		return c.Sets
+	}
+	return 8
+}
+
 // Backing is the next level of the hierarchy: line-granular load/store.
+// Implementations must be safe for concurrent use (MapBacking is).
 type Backing interface {
 	// ReadLine returns LineBytes bytes at the line-aligned address.
 	ReadLine(addr uint64) []byte
@@ -57,9 +88,10 @@ type Backing interface {
 	WriteLine(addr uint64, data []byte)
 }
 
-// MapBacking is a simple in-memory Backing.
+// MapBacking is a simple in-memory Backing, safe for concurrent use.
 type MapBacking struct {
 	lineBytes int
+	mu        sync.RWMutex
 	m         map[uint64][]byte
 }
 
@@ -70,26 +102,58 @@ func NewMapBacking(lineBytes int) *MapBacking {
 
 // ReadLine returns the stored line (zeroes if never written).
 func (b *MapBacking) ReadLine(addr uint64) []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]byte, b.lineBytes)
 	if d, ok := b.m[addr]; ok {
-		out := make([]byte, b.lineBytes)
 		copy(out, d)
-		return out
 	}
-	return make([]byte, b.lineBytes)
+	return out
 }
 
 // WriteLine stores a line.
 func (b *MapBacking) WriteLine(addr uint64, data []byte) {
 	d := make([]byte, b.lineBytes)
 	copy(d, data)
+	b.mu.Lock()
 	b.m[addr] = d
+	b.mu.Unlock()
 }
 
 // ErrUncorrectable reports an error footprint beyond the 2D coverage —
 // the software-visible machine-check. The affected line's contents are
-// untrustworthy; callers recover with Repair (refetch from backing,
-// losing unwritten dirty data) as an OS would.
+// untrustworthy. It is always returned wrapped in an
+// *UncorrectableError carrying the fault location; match with
+// errors.Is(err, ErrUncorrectable) or errors.As.
 var ErrUncorrectable = errors.New("pcache: uncorrectable error (exceeds 2D coverage)")
+
+// Array names for UncorrectableError.Array.
+const (
+	ArrayData = "data"
+	ArrayTags = "tags"
+)
+
+// UncorrectableError is the typed machine-check: it locates the
+// detected-but-uncorrectable error so a recovery engine can escalate
+// (retry, word-level repair, full 2D recovery, refetch+decommission)
+// against exactly the affected resource. It wraps ErrUncorrectable, so
+// errors.Is(err, ErrUncorrectable) holds.
+type UncorrectableError struct {
+	// Array is which protected store tripped: ArrayData or ArrayTags.
+	Array string
+	// Set and Way locate the cache line whose access failed (for tag
+	// errors, Way is the tag word that failed to read).
+	Set, Way int
+}
+
+// Error implements error.
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("pcache: uncorrectable %s error at set %d way %d (exceeds 2D coverage)",
+		e.Array, e.Set, e.Way)
+}
+
+// Unwrap makes errors.Is(err, ErrUncorrectable) work.
+func (e *UncorrectableError) Unwrap() error { return ErrUncorrectable }
 
 // Stats counts cache-level events.
 type Stats struct {
@@ -102,24 +166,61 @@ type Stats struct {
 	ErrorsRecovered uint64
 	// Uncorrectable counts machine-check events (ErrUncorrectable).
 	Uncorrectable uint64
+	// Bypassed counts accesses served directly from the backing store
+	// because every way of the target set is decommissioned.
+	Bypassed uint64
+	// DirtyLinesLost counts decommissioned lines whose unflushed dirty
+	// data was discarded (the detected-but-unrecoverable outcome).
+	DirtyLinesLost uint64
 }
 
-// Cache is the protected cache. One twod array holds all data lines
-// (each 64-bit word of a line is one protected word); a second twod
-// array holds the tag/state words.
-type Cache struct {
-	cfg     Config
-	backing Backing
+// WayRef names one cache way globally.
+type WayRef struct {
+	Set, Way int
+}
 
-	data *twod.Array // rows = sets*ways, wordsPerRow = lineBytes/8
-	tags *twod.Array // rows = sets, wordsPerRow = ways
+// bank is one independently locked pair of protected sub-arrays plus
+// the per-set replacement and decommission state it owns.
+type bank struct {
+	index int
+	mu    sync.RWMutex
+	data  *twod.Array // rows = setsPerBank*Ways, wordsPerRow = lineBytes/8
+	tags  *twod.Array // rows = setsPerBank, wordsPerRow = Ways
+
+	// lru stamps and the global stamp counter are atomics so the
+	// shared-lock read path can touch them.
+	lru   []atomic.Uint64 // [localSet*Ways+way]
+	stamp atomic.Uint64
+
+	// Fast-path counters live per bank so parallel clean hits do not
+	// serialise on one shared cache line; Stats()/Accesses() sum them.
+	_        [48]byte // keep the hot counters off the lru/stamp line
+	hits     atomic.Uint64
+	accesses atomic.Uint64
+
+	// disabled marks decommissioned ways; mutated only under mu held
+	// exclusively, read under either lock mode.
+	disabled []bool
+}
+
+// Cache is the protected cache: a banked array of 2D-coded data and
+// tag sub-arrays, safe for concurrent use.
+type Cache struct {
+	cfg         Config
+	backing     Backing
+	banks       []*bank
+	setsPerBank int
 
 	lineShift uint
 	setMask   uint64
-	lru       [][]uint64 // [set][way] last-touch stamps
-	stamp     uint64
+	words     int // data words per line
 
-	stats Stats
+	disabledWays atomic.Int64
+	lossEpochs   []atomic.Uint64 // per set: bumped whenever the set's content may revert to backing
+
+	misses, writebacks       atomic.Uint64
+	recovered, uncorrectable atomic.Uint64
+	bypassed, dirtyLost      atomic.Uint64
 }
 
 // tag word layout (64 bits): [0] valid, [1] dirty, [2..63] tag bits.
@@ -163,25 +264,34 @@ func New(cfg Config, backing Backing) (*Cache, error) {
 			VerticalGroups: groups,
 		})
 	}
-	data, err := mkArray(cfg.Sets*cfg.Ways, cfg.LineBytes/8)
-	if err != nil {
-		return nil, err
-	}
-	tags, err := mkArray(cfg.Sets, cfg.Ways)
-	if err != nil {
-		return nil, err
-	}
+	nBanks := cfg.effectiveBanks()
+	spb := cfg.Sets / nBanks
 	c := &Cache{
-		cfg:       cfg,
-		backing:   backing,
-		data:      data,
-		tags:      tags,
-		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
-		setMask:   uint64(cfg.Sets - 1),
-		lru:       make([][]uint64, cfg.Sets),
+		cfg:         cfg,
+		backing:     backing,
+		banks:       make([]*bank, nBanks),
+		setsPerBank: spb,
+		lineShift:   uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:     uint64(cfg.Sets - 1),
+		words:       cfg.LineBytes / 8,
+		lossEpochs:  make([]atomic.Uint64, cfg.Sets),
 	}
-	for i := range c.lru {
-		c.lru[i] = make([]uint64, cfg.Ways)
+	for i := range c.banks {
+		data, err := mkArray(spb*cfg.Ways, cfg.LineBytes/8)
+		if err != nil {
+			return nil, err
+		}
+		tags, err := mkArray(spb, cfg.Ways)
+		if err != nil {
+			return nil, err
+		}
+		c.banks[i] = &bank{
+			index:    i,
+			data:     data,
+			tags:     tags,
+			lru:      make([]atomic.Uint64, spb*cfg.Ways),
+			disabled: make([]bool, spb*cfg.Ways),
+		}
 	}
 	return c, nil
 }
@@ -195,55 +305,123 @@ func MustNew(cfg Config, backing Backing) *Cache {
 	return c
 }
 
-// Stats returns the counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
 
-// DataArray exposes the protected data array for fault injection.
-func (c *Cache) DataArray() *twod.Array { return c.data }
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	var hits uint64
+	for _, b := range c.banks {
+		hits += b.hits.Load()
+	}
+	return Stats{
+		Hits:            hits,
+		Misses:          c.misses.Load(),
+		Writebacks:      c.writebacks.Load(),
+		ErrorsRecovered: c.recovered.Load(),
+		Uncorrectable:   c.uncorrectable.Load(),
+		Bypassed:        c.bypassed.Load(),
+		DirtyLinesLost:  c.dirtyLost.Load(),
+	}
+}
 
-// TagArray exposes the protected tag array for fault injection.
-func (c *Cache) TagArray() *twod.Array { return c.tags }
+// Accesses returns the number of Read/Write operations issued so far —
+// the traffic signal a traffic-aware scrubber keys off.
+func (c *Cache) Accesses() uint64 {
+	var n uint64
+	for _, b := range c.banks {
+		n += b.accesses.Load()
+	}
+	return n
+}
+
+// NumBanks returns the number of independently locked banks.
+func (c *Cache) NumBanks() int { return len(c.banks) }
+
+// SetsPerBank returns how many sets each bank holds.
+func (c *Cache) SetsPerBank() int { return c.setsPerBank }
+
+// DataArray exposes bank 0's protected data array for single-threaded
+// fault injection (the whole data store when Banks == 1). Concurrent
+// injection must go through WithBankLock instead.
+func (c *Cache) DataArray() *twod.Array { return c.banks[0].data }
+
+// TagArray exposes bank 0's protected tag array for single-threaded
+// fault injection. Concurrent injection must go through WithBankLock.
+func (c *Cache) TagArray() *twod.Array { return c.banks[0].tags }
+
+// BankArrays returns bank i's data and tag arrays without any locking,
+// for single-threaded inspection and fault injection.
+func (c *Cache) BankArrays(i int) (data, tags *twod.Array) {
+	return c.banks[i].data, c.banks[i].tags
+}
+
+// WithBankLock runs fn with exclusive access to bank i's arrays, so
+// fault injection and inspection can race safely against concurrent
+// traffic — upsets strike mid-stream, but never mid-word.
+func (c *Cache) WithBankLock(i int, fn func(data, tags *twod.Array)) {
+	b := c.banks[i]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fn(b.data, b.tags)
+}
+
+// LossEpoch returns the set's loss epoch: it advances every time the
+// set's content may have reverted to the backing store (repair after a
+// machine check, decommission). External correctness checkers compare
+// epochs around an access to tell accounted data loss from silent
+// corruption.
+func (c *Cache) LossEpoch(set int) uint64 { return c.lossEpochs[set].Load() }
+
+// DisabledWays returns how many ways are currently decommissioned.
+func (c *Cache) DisabledWays() int { return int(c.disabledWays.Load()) }
 
 func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
 func (c *Cache) setOf(line uint64) int       { return int(line & c.setMask) }
 func (c *Cache) tagOf(line uint64) uint64    { return line >> bits.TrailingZeros64(c.setMask+1) }
 
-// readTag fetches the tag word for (set, way) through the protected
-// array, counting recoveries.
-func (c *Cache) readTag(set, way int) (uint64, error) {
-	w, st := c.tags.Read(set, way)
-	if err := c.note(st); err != nil {
+// bankOf maps a global set to (bank, localSet).
+func (c *Cache) bankOf(set int) (*bank, int) {
+	return c.banks[set/c.setsPerBank], set % c.setsPerBank
+}
+
+func (b *bank) globalSet(spb, ls int) int { return b.index*spb + ls }
+
+// noteSt records an access outcome, wrapping uncorrectable ones with
+// their location.
+func (c *Cache) noteSt(st twod.ReadStatus, array string, set, way int) error {
+	if st == twod.ReadRecovered || st == twod.ReadCorrectedInline {
+		c.recovered.Add(1)
+	}
+	if st == twod.ReadUncorrectable {
+		c.uncorrectable.Add(1)
+		return &UncorrectableError{Array: array, Set: set, Way: way}
+	}
+	return nil
+}
+
+// --- locked per-bank primitives (b.mu held exclusively) ----------------
+
+func (c *Cache) readTagLocked(b *bank, ls, way int) (uint64, error) {
+	w, st := b.tags.Read(ls, way)
+	if err := c.noteSt(st, ArrayTags, b.globalSet(c.setsPerBank, ls), way); err != nil {
 		return 0, err
 	}
 	return w.Uint64(), nil
 }
 
-func (c *Cache) writeTag(set, way int, v uint64) error {
-	st := c.tags.Write(set, way, bitvec.FromUint64(v, 64))
-	return c.note(st)
+func (c *Cache) writeTagLocked(b *bank, ls, way int, v uint64) error {
+	st := b.tags.Write(ls, way, bitvec.FromUint64(v, 64))
+	return c.noteSt(st, ArrayTags, b.globalSet(c.setsPerBank, ls), way)
 }
 
-// note records an access outcome. An uncorrectable error — a footprint
-// beyond the 2D coverage, typically from letting errors accumulate
-// without scrubbing — surfaces as ErrUncorrectable, the
-// machine-check-exception equivalent. Deployments bound accumulation by
-// calling Scrub periodically (see internal/scrub for the interval
-// analysis) and recover with Repair.
-func (c *Cache) note(st twod.ReadStatus) error {
-	if st == twod.ReadRecovered || st == twod.ReadCorrectedInline {
-		c.stats.ErrorsRecovered++
-	}
-	if st == twod.ReadUncorrectable {
-		c.stats.Uncorrectable++
-		return ErrUncorrectable
-	}
-	return nil
-}
-
-// lookup returns the hitting way, or -1.
-func (c *Cache) lookup(set int, tag uint64) (int, error) {
+// lookupLocked returns the hitting way, or -1.
+func (c *Cache) lookupLocked(b *bank, ls int, tag uint64) (int, error) {
 	for way := 0; way < c.cfg.Ways; way++ {
-		t, err := c.readTag(set, way)
+		if b.disabled[ls*c.cfg.Ways+way] {
+			continue
+		}
+		t, err := c.readTagLocked(b, ls, way)
 		if err != nil {
 			return -1, err
 		}
@@ -254,207 +432,459 @@ func (c *Cache) lookup(set int, tag uint64) (int, error) {
 	return -1, nil
 }
 
-// victim picks an invalid or LRU way.
-func (c *Cache) victim(set int) (int, error) {
-	best, bestStamp := 0, ^uint64(0)
-	for way := 0; way < c.cfg.Ways; way++ {
-		t, err := c.readTag(set, way)
+// victimLocked picks an invalid or LRU way among the enabled ways; ok
+// is false when the whole set is decommissioned.
+func (c *Cache) victimLocked(b *bank, ls int) (way int, ok bool, err error) {
+	best, bestStamp, found := 0, ^uint64(0), false
+	for w := 0; w < c.cfg.Ways; w++ {
+		idx := ls*c.cfg.Ways + w
+		if b.disabled[idx] {
+			continue
+		}
+		t, err := c.readTagLocked(b, ls, w)
 		if err != nil {
-			return 0, err
+			return 0, true, err
 		}
 		if t&tagValidBit == 0 {
-			return way, nil
+			return w, true, nil
 		}
-		if c.lru[set][way] < bestStamp {
-			best, bestStamp = way, c.lru[set][way]
+		if s := b.lru[idx].Load(); !found || s < bestStamp {
+			best, bestStamp, found = w, s, true
 		}
 	}
-	return best, nil
+	if !found {
+		return 0, false, nil
+	}
+	return best, true, nil
 }
 
-// dataRow maps (set, way) to the data array row.
-func (c *Cache) dataRow(set, way int) int { return set*c.cfg.Ways + way }
+// dataRow maps (localSet, way) to the bank's data array row.
+func (c *Cache) dataRow(ls, way int) int { return ls*c.cfg.Ways + way }
 
-// readLineWords fetches a full line from the data array.
-func (c *Cache) readLineWords(set, way int) ([]byte, error) {
+// readLineLocked fetches a full line from the bank's data array.
+func (c *Cache) readLineLocked(b *bank, ls, way int) ([]byte, error) {
 	out := make([]byte, c.cfg.LineBytes)
-	row := c.dataRow(set, way)
-	for w := 0; w < c.cfg.LineBytes/8; w++ {
-		word, st := c.data.Read(row, w)
-		if err := c.note(st); err != nil {
+	row := c.dataRow(ls, way)
+	set := b.globalSet(c.setsPerBank, ls)
+	for w := 0; w < c.words; w++ {
+		word, st := b.data.Read(row, w)
+		if err := c.noteSt(st, ArrayData, set, way); err != nil {
 			return nil, err
 		}
 		v := word.Uint64()
-		for b := 0; b < 8; b++ {
-			out[w*8+b] = byte(v >> (8 * uint(b)))
+		for i := 0; i < 8; i++ {
+			out[w*8+i] = byte(v >> (8 * uint(i)))
 		}
 	}
 	return out, nil
 }
 
-// writeLineWords stores a full line into the data array.
-func (c *Cache) writeLineWords(set, way int, data []byte) error {
-	row := c.dataRow(set, way)
-	for w := 0; w < c.cfg.LineBytes/8; w++ {
+// writeLineLocked stores a full line into the bank's data array.
+func (c *Cache) writeLineLocked(b *bank, ls, way int, data []byte) error {
+	row := c.dataRow(ls, way)
+	set := b.globalSet(c.setsPerBank, ls)
+	for w := 0; w < c.words; w++ {
 		var v uint64
-		for b := 0; b < 8; b++ {
-			v |= uint64(data[w*8+b]) << (8 * uint(b))
+		for i := 0; i < 8; i++ {
+			v |= uint64(data[w*8+i]) << (8 * uint(i))
 		}
-		st := c.data.Write(row, w, bitvec.FromUint64(v, 64))
-		if err := c.note(st); err != nil {
+		st := b.data.Write(row, w, bitvec.FromUint64(v, 64))
+		if err := c.noteSt(st, ArrayData, set, way); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// fill brings the line into (set, way), evicting as needed.
-func (c *Cache) fill(line uint64) (set, way int, err error) {
-	set = c.setOf(line)
-	way, err = c.victim(set)
-	if err != nil {
-		return 0, 0, err
+// fillLocked brings the line into the set, evicting as needed; ok is
+// false when every way is decommissioned (caller must bypass).
+func (c *Cache) fillLocked(b *bank, ls int, line uint64) (way int, ok bool, err error) {
+	way, ok, err = c.victimLocked(b, ls)
+	if err != nil || !ok {
+		return 0, ok, err
 	}
-	old, err := c.readTag(set, way)
+	old, err := c.readTagLocked(b, ls, way)
 	if err != nil {
-		return 0, 0, err
+		return 0, true, err
 	}
 	if old&tagValidBit != 0 && old&tagDirtyBit != 0 {
+		set := b.globalSet(c.setsPerBank, ls)
 		oldLine := old>>tagShift<<bits.TrailingZeros64(c.setMask+1) | uint64(set)
-		victim, err := c.readLineWords(set, way)
+		victim, err := c.readLineLocked(b, ls, way)
 		if err != nil {
-			return 0, 0, err
+			return 0, true, err
 		}
 		c.backing.WriteLine(oldLine<<c.lineShift, victim)
-		c.stats.Writebacks++
+		c.writebacks.Add(1)
 	}
-	if err := c.writeLineWords(set, way, c.backing.ReadLine(line<<c.lineShift)); err != nil {
-		return 0, 0, err
+	if err := c.writeLineLocked(b, ls, way, c.backing.ReadLine(line<<c.lineShift)); err != nil {
+		return 0, true, err
 	}
-	if err := c.writeTag(set, way, tagValidBit|c.tagOf(line)<<tagShift); err != nil {
-		return 0, 0, err
+	if err := c.writeTagLocked(b, ls, way, tagValidBit|c.tagOf(line)<<tagShift); err != nil {
+		return 0, true, err
 	}
-	return set, way, nil
+	return way, true, nil
 }
 
-// access returns (set, way) for the line, filling on a miss.
-func (c *Cache) access(addr uint64) (int, int, error) {
-	line := c.lineAddr(addr)
-	set := c.setOf(line)
-	way, err := c.lookup(set, c.tagOf(line))
-	if err != nil {
-		return 0, 0, err
-	}
-	if way >= 0 {
-		c.stats.Hits++
-	} else {
-		c.stats.Misses++
-		set, way, err = c.fill(line)
-		if err != nil {
-			return 0, 0, err
-		}
-	}
-	c.stamp++
-	c.lru[set][way] = c.stamp
-	return set, way, nil
+// touch updates the LRU stamp (atomic: callable under either lock mode).
+func (b *bank) touch(ls, way, ways int) {
+	b.lru[ls*ways+way].Store(b.stamp.Add(1))
 }
+
+// --- fast path ---------------------------------------------------------
+
+// fastRead serves a clean hit under the bank's shared lock: every tag
+// word scanned and every data word touched must check clean via
+// TryRead; anything else (miss, dirty word, disabled set) falls back to
+// the exclusive slow path. Only the words overlapping the request are
+// read — the sub-array read-out of a real bank — so a clean hit costs
+// O(request) and many readers proceed in parallel.
+func (c *Cache) fastRead(b *bank, ls int, line, addr uint64, n int) []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	tag := c.tagOf(line)
+	for way := 0; way < c.cfg.Ways; way++ {
+		if b.disabled[ls*c.cfg.Ways+way] {
+			continue
+		}
+		tw, ok := b.tags.TryRead(ls, way)
+		if !ok {
+			return nil // tag word needs repair: escalate
+		}
+		t := tw.Uint64()
+		if t&tagValidBit == 0 || t>>tagShift != tag {
+			continue
+		}
+		off := int(addr) & (c.cfg.LineBytes - 1)
+		out := make([]byte, n)
+		row := c.dataRow(ls, way)
+		for w := off / 8; w <= (off+n-1)/8; w++ {
+			word, ok := b.data.TryRead(row, w)
+			if !ok {
+				return nil // data word needs repair: escalate
+			}
+			v := word.Uint64()
+			for i := 0; i < 8; i++ {
+				pos := w*8 + i
+				if pos >= off && pos < off+n {
+					out[pos-off] = byte(v >> (8 * uint(i)))
+				}
+			}
+		}
+		b.hits.Add(1)
+		b.touch(ls, way, c.cfg.Ways)
+		return out
+	}
+	return nil // miss: the fill needs the exclusive path
+}
+
+// --- public access API --------------------------------------------------
 
 // Read returns n bytes at addr (must not cross a line boundary). An
-// ErrUncorrectable means the 2D coverage was exceeded (machine check);
-// recover with Repair.
+// error satisfying errors.Is(err, ErrUncorrectable) means the 2D
+// coverage was exceeded (machine check); errors.As to
+// *UncorrectableError locates it. Safe for concurrent use.
 func (c *Cache) Read(addr uint64, n int) ([]byte, error) {
 	if err := c.checkSpan(addr, n); err != nil {
 		return nil, err
 	}
-	set, way, err := c.access(addr)
+	line := c.lineAddr(addr)
+	set := c.setOf(line)
+	b, ls := c.bankOf(set)
+	b.accesses.Add(1)
+	if out := c.fastRead(b, ls, line, addr, n); out != nil {
+		return out, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	way, err := c.lookupLocked(b, ls, c.tagOf(line))
 	if err != nil {
 		return nil, err
 	}
-	line, err := c.readLineWords(set, way)
+	if way >= 0 {
+		b.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+		var ok bool
+		way, ok, err = c.fillLocked(b, ls, line)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Every way decommissioned: serve straight from backing —
+			// the cache got smaller, not broken.
+			c.bypassed.Add(1)
+			buf := c.backing.ReadLine(line << c.lineShift)
+			off := int(addr) & (c.cfg.LineBytes - 1)
+			out := make([]byte, n)
+			copy(out, buf[off:off+n])
+			return out, nil
+		}
+	}
+	b.touch(ls, way, c.cfg.Ways)
+	lineBytes, err := c.readLineLocked(b, ls, way)
 	if err != nil {
 		return nil, err
 	}
 	off := int(addr) & (c.cfg.LineBytes - 1)
 	out := make([]byte, n)
-	copy(out, line[off:off+n])
+	copy(out, lineBytes[off:off+n])
 	return out, nil
 }
 
 // Write stores bytes at addr (must not cross a line boundary),
 // write-back: the line is marked dirty in the protected tag store.
+// Safe for concurrent use.
 func (c *Cache) Write(addr uint64, data []byte) error {
 	if err := c.checkSpan(addr, len(data)); err != nil {
 		return err
 	}
-	set, way, err := c.access(addr)
+	line := c.lineAddr(addr)
+	set := c.setOf(line)
+	b, ls := c.bankOf(set)
+	b.accesses.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	way, err := c.lookupLocked(b, ls, c.tagOf(line))
 	if err != nil {
 		return err
 	}
-	lineBytes, err := c.readLineWords(set, way)
+	if way >= 0 {
+		b.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+		var ok bool
+		way, ok, err = c.fillLocked(b, ls, line)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Decommissioned set: write through to backing.
+			c.bypassed.Add(1)
+			buf := c.backing.ReadLine(line << c.lineShift)
+			off := int(addr) & (c.cfg.LineBytes - 1)
+			copy(buf[off:], data)
+			c.backing.WriteLine(line<<c.lineShift, buf)
+			return nil
+		}
+	}
+	b.touch(ls, way, c.cfg.Ways)
+	lineBytes, err := c.readLineLocked(b, ls, way)
 	if err != nil {
 		return err
 	}
 	off := int(addr) & (c.cfg.LineBytes - 1)
 	copy(lineBytes[off:], data)
-	if err := c.writeLineWords(set, way, lineBytes); err != nil {
+	if err := c.writeLineLocked(b, ls, way, lineBytes); err != nil {
 		return err
 	}
-	line := c.lineAddr(addr)
-	return c.writeTag(set, way, tagValidBit|tagDirtyBit|c.tagOf(line)<<tagShift)
+	return c.writeTagLocked(b, ls, way, tagValidBit|tagDirtyBit|c.tagOf(line)<<tagShift)
 }
 
-// Flush writes every dirty line back to the backing store.
+// Flush writes every dirty line back to the backing store. Safe for
+// concurrent use (each bank is flushed under its exclusive lock).
 func (c *Cache) Flush() error {
-	for set := 0; set < c.cfg.Sets; set++ {
+	for _, b := range c.banks {
+		if err := c.flushBank(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cache) flushBank(b *bank) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ls := 0; ls < c.setsPerBank; ls++ {
+		set := b.globalSet(c.setsPerBank, ls)
 		for way := 0; way < c.cfg.Ways; way++ {
-			t, err := c.readTag(set, way)
+			if b.disabled[ls*c.cfg.Ways+way] {
+				continue
+			}
+			t, err := c.readTagLocked(b, ls, way)
 			if err != nil {
 				return err
 			}
 			if t&tagValidBit != 0 && t&tagDirtyBit != 0 {
 				line := t>>tagShift<<bits.TrailingZeros64(c.setMask+1) | uint64(set)
-				data, err := c.readLineWords(set, way)
+				data, err := c.readLineLocked(b, ls, way)
 				if err != nil {
 					return err
 				}
 				c.backing.WriteLine(line<<c.lineShift, data)
-				if err := c.writeTag(set, way, t&^tagDirtyBit); err != nil {
+				if err := c.writeTagLocked(b, ls, way, t&^tagDirtyBit); err != nil {
 					return err
 				}
-				c.stats.Writebacks++
+				c.writebacks.Add(1)
 			}
 		}
 	}
 	return nil
 }
 
-// Repair recovers from ErrUncorrectable the way an OS handles a cache
-// machine check: every line in the address's set is force-reloaded
-// from the backing store (dirty contents of that set are lost — the
-// detected-but-uncorrectable outcome) and the arrays' parity state is
-// rebuilt.
+// --- repair, degradation, scrubbing -------------------------------------
+
+// Repair recovers from an uncorrectable error the way an OS handles a
+// cache machine check: every line in the address's set is invalidated
+// and its storage force-cleared (unflushed dirty contents of that set
+// are lost — the detected-but-uncorrectable outcome) and the arrays'
+// parity state is rebuilt. The set's loss epoch advances.
 func (c *Cache) Repair(addr uint64) {
 	line := c.lineAddr(addr)
 	set := c.setOf(line)
+	b, ls := c.bankOf(set)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c.wipeSetLocked(b, ls)
+	c.lossEpochs[set].Add(1)
+}
+
+// wipeSetLocked force-clears every way of the local set.
+func (c *Cache) wipeSetLocked(b *bank, ls int) {
+	zero := bitvec.New(64)
 	for way := 0; way < c.cfg.Ways; way++ {
-		row := c.dataRow(set, way)
-		fresh := c.backing.ReadLine(line << c.lineShift)
-		for w := 0; w < c.cfg.LineBytes/8; w++ {
-			var v uint64
-			for b := 0; b < 8; b++ {
-				v |= uint64(fresh[w*8+b]) << (8 * uint(b))
-			}
-			c.data.ForceWrite(row, w, bitvec.FromUint64(v, 64))
+		row := c.dataRow(ls, way)
+		for w := 0; w < c.words; w++ {
+			b.data.ForceWrite(row, w, zero)
 		}
-		// Invalidate the way; the next access refetches cleanly.
-		c.tags.ForceWrite(set, way, bitvec.FromUint64(0, 64))
+		b.tags.ForceWrite(ls, way, zero)
 	}
 }
 
-// Scrub proactively runs 2D recovery over both arrays (a scrubbing
+// RepairAll is the whole-cache machine-check handler: every set is
+// force-cleared (all unflushed dirty data is lost) and all arrays
+// return to a consistent state. Used when a scrub pass itself reports
+// uncorrectable damage.
+func (c *Cache) RepairAll() {
+	for set := 0; set < c.cfg.Sets; set++ {
+		c.Repair(uint64(set) << c.lineShift)
+	}
+}
+
+// Decommission retires one way: its line is discarded (refetched from
+// backing on the next access to that address), its storage is
+// force-cleared so the arrays stay consistent, and the way is removed
+// from allocation — the line-delete map real processors keep. It
+// reports whether unflushed dirty data was lost. The set's loss epoch
+// advances.
+func (c *Cache) Decommission(set, way int) (lostDirty bool) {
+	b, ls := c.bankOf(set)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := ls*c.cfg.Ways + way
+	if tw, ok := b.tags.TryRead(ls, way); ok {
+		t := tw.Uint64()
+		lostDirty = t&tagValidBit != 0 && t&tagDirtyBit != 0
+	} else {
+		// Tag word unreadable: assume the worst.
+		lostDirty = true
+	}
+	zero := bitvec.New(64)
+	row := c.dataRow(ls, way)
+	for w := 0; w < c.words; w++ {
+		b.data.ForceWrite(row, w, zero)
+	}
+	b.tags.ForceWrite(ls, way, zero)
+	if !b.disabled[idx] {
+		b.disabled[idx] = true
+		c.disabledWays.Add(1)
+	}
+	c.lossEpochs[set].Add(1)
+	if lostDirty {
+		c.dirtyLost.Add(1)
+	}
+	return lostDirty
+}
+
+// Reenable returns a decommissioned way to service (after its faulty
+// row has been remapped to a spare). The way comes back empty.
+func (c *Cache) Reenable(set, way int) {
+	b, ls := c.bankOf(set)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := ls*c.cfg.Ways + way
+	if b.disabled[idx] {
+		b.disabled[idx] = false
+		c.disabledWays.Add(-1)
+	}
+}
+
+// RecoverWord is the targeted middle rung of the escalation ladder: it
+// attempts word-level horizontal correction of exactly the failed
+// resource — the tag word, or every word of the failed line — without
+// an array-wide recovery march. It reports whether everything it
+// touched now checks clean.
+func (c *Cache) RecoverWord(array string, set, way int) bool {
+	b, ls := c.bankOf(set)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if array == ArrayTags {
+		return b.tags.CorrectWord(ls, way)
+	}
+	row := c.dataRow(ls, way)
+	ok := true
+	for w := 0; w < c.words; w++ {
+		if !b.data.CorrectWord(row, w) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// RecoverSetArrays runs the full 2D recovery process over both arrays
+// of the set's bank, reporting whether the bank checks clean after.
+func (c *Cache) RecoverSetArrays(set int) bool {
+	b, _ := c.bankOf(set)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	okData := b.data.Recover().Success
+	okTags := b.tags.Recover().Success
+	return okData && okTags
+}
+
+// ScrubBank runs 2D recovery over bank i's arrays. When recovery
+// cannot restore consistency it returns ok=false plus the cache ways
+// whose words still check dirty — the lines a resilience engine must
+// decommission.
+func (c *Cache) ScrubBank(i int) (ok bool, victims []WayRef) {
+	b := c.banks[i]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	okData := b.data.Recover().Success
+	okTags := b.tags.Recover().Success
+	if okData && okTags {
+		return true, nil
+	}
+	seen := map[WayRef]bool{}
+	add := func(ref WayRef) {
+		if !seen[ref] {
+			seen[ref] = true
+			victims = append(victims, ref)
+		}
+	}
+	if !okData {
+		for _, rw := range b.data.FaultyWordList() {
+			add(WayRef{Set: b.globalSet(c.setsPerBank, rw[0]/c.cfg.Ways), Way: rw[0] % c.cfg.Ways})
+		}
+	}
+	if !okTags {
+		for _, rw := range b.tags.FaultyWordList() {
+			add(WayRef{Set: b.globalSet(c.setsPerBank, rw[0]), Way: rw[1]})
+		}
+	}
+	return false, victims
+}
+
+// Scrub proactively runs 2D recovery over every bank (a full scrubbing
 // pass), returning whether everything is consistent.
 func (c *Cache) Scrub() bool {
-	return c.data.Recover().Success && c.tags.Recover().Success
+	all := true
+	for i := range c.banks {
+		if ok, _ := c.ScrubBank(i); !ok {
+			all = false
+		}
+	}
+	return all
 }
 
 func (c *Cache) checkSpan(addr uint64, n int) error {
@@ -466,14 +896,4 @@ func (c *Cache) checkSpan(addr uint64, n int) error {
 		return fmt.Errorf("pcache: access at %#x size %d crosses a line boundary", addr, n)
 	}
 	return nil
-}
-
-// RepairAll is the whole-cache machine-check handler: every set is
-// force-reloaded from the backing store (all unflushed dirty data is
-// lost) and both arrays return to a consistent state. Used when a
-// scrub pass itself reports uncorrectable damage.
-func (c *Cache) RepairAll() {
-	for set := 0; set < c.cfg.Sets; set++ {
-		c.Repair(uint64(set) << c.lineShift)
-	}
 }

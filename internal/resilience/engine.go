@@ -1,0 +1,350 @@
+// Package resilience turns the protected cache into an online,
+// self-healing system: the paper's premise is that correction is a
+// rare, slow background process decoupled from fast detection (§4,
+// Fig. 4(b)), so this package supplies the runtime half — a recovery
+// escalation ladder that replaces one-shot recovery, a traffic-aware
+// background scrubber, and a health report — so the cache keeps
+// serving traffic while faults arrive continuously.
+//
+// The escalation ladder runs on every detected-uncorrectable (DUE)
+// access, cheapest rung first:
+//
+//  1. retry — re-issue the access; a concurrent scrubber or another
+//     client's repair may already have cleared the damage.
+//  2. word recovery — targeted horizontal correction of exactly the
+//     failed word(s), no array-wide march.
+//  3. full 2D recovery — the Fig. 4(b) process over the whole bank.
+//  4. graceful degradation — the affected way is decommissioned (its
+//     line refetched from backing on the next access; unflushed dirty
+//     data is counted as lost), and, if a spare-row budget remains,
+//     remapped to a spare via the redundancy allocator and returned to
+//     service.
+//
+// Rung 4 terminates: each pass retires one more way, and a fully
+// retired set bypasses the arrays entirely, so the ladder ends in a
+// usable, smaller cache rather than an error loop.
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twodcache/internal/pcache"
+	"twodcache/internal/redundancy"
+)
+
+// Config tunes the escalation ladder.
+type Config struct {
+	// MaxRetries is how many times rung 1 re-issues the access before
+	// escalating. Zero selects 1; negative disables the rung.
+	MaxRetries int
+	// SpareRows is the spare-row budget for remapping decommissioned
+	// ways back into service (rung 4). Zero disables remapping.
+	SpareRows int
+	// Clock overrides the time source (tests). Nil selects time.Now.
+	Clock func() time.Time
+}
+
+// Engine wraps a protected cache with the recovery escalation ladder.
+// All methods are safe for concurrent use.
+type Engine struct {
+	cache *pcache.Cache
+	cfg   Config
+	clock func() time.Time
+
+	// remap state: the accumulated faulty way-rows presented to the
+	// redundancy allocator, and which ways already consumed their one
+	// remap (a second failure means the spare itself is bad).
+	mu           sync.Mutex
+	faultyRows   []redundancy.Fault
+	remappedOnce map[int]bool
+	scrubber     *Scrubber
+
+	dues           atomic.Uint64
+	retries        atomic.Uint64
+	retryHits      atomic.Uint64
+	wordAttempts   atomic.Uint64
+	wordHits       atomic.Uint64
+	fullAttempts   atomic.Uint64
+	fullHits       atomic.Uint64
+	decommissions  atomic.Uint64
+	remaps         atomic.Uint64
+	exhausted      atomic.Uint64
+	repairs        atomic.Uint64
+	repairDuration atomic.Int64 // nanoseconds across all ladder runs
+}
+
+// New builds an engine over the cache.
+func New(c *pcache.Cache, cfg Config) *Engine {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 1
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Engine{
+		cache:        c,
+		cfg:          cfg,
+		clock:        clock,
+		remappedOnce: map[int]bool{},
+	}
+}
+
+// Cache returns the underlying protected cache (for fault injection,
+// statistics, and direct access).
+func (e *Engine) Cache() *pcache.Cache { return e.cache }
+
+// Read serves n bytes at addr, running the escalation ladder on any
+// detected-uncorrectable error. An error return means even graceful
+// degradation could not produce trustworthy data.
+func (e *Engine) Read(addr uint64, n int) (out []byte, err error) {
+	out, err = e.cache.Read(addr, n)
+	if err == nil {
+		return out, nil
+	}
+	err = e.ladder(err, func() error {
+		var e2 error
+		out, e2 = e.cache.Read(addr, n)
+		return e2
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Write stores bytes at addr, running the escalation ladder on any
+// detected-uncorrectable error.
+func (e *Engine) Write(addr uint64, data []byte) error {
+	err := e.cache.Write(addr, data)
+	if err == nil {
+		return nil
+	}
+	return e.ladder(err, func() error { return e.cache.Write(addr, data) })
+}
+
+// Flush writes all dirty lines back, escalating on DUEs until the
+// flush completes.
+func (e *Engine) Flush() error {
+	err := e.cache.Flush()
+	if err == nil {
+		return nil
+	}
+	return e.ladder(err, func() error { return e.cache.Flush() })
+}
+
+// ladder escalates a located DUE rung by rung, re-issuing attempt()
+// after each rung until it succeeds or the degrade rung exhausts the
+// set's ways. err must be the failing attempt's error.
+func (e *Engine) ladder(err error, attempt func() error) error {
+	var ue *pcache.UncorrectableError
+	if !errors.As(err, &ue) {
+		return err // not a machine check (span error, ...): no ladder
+	}
+	e.dues.Add(1)
+	start := e.clock()
+	defer func() {
+		e.repairs.Add(1)
+		e.repairDuration.Add(int64(e.clock().Sub(start)))
+	}()
+
+	// again re-issues the access; ok means done, a non-nil herr is a
+	// hard (non-DUE) failure; otherwise ue is rebound to the new fault.
+	again := func() (ok bool, herr error) {
+		err2 := attempt()
+		if err2 == nil {
+			return true, nil
+		}
+		var u2 *pcache.UncorrectableError
+		if !errors.As(err2, &u2) {
+			return false, err2
+		}
+		ue = u2
+		return false, nil
+	}
+
+	// Rung 1: retry.
+	for i := 0; i < e.cfg.MaxRetries; i++ {
+		e.retries.Add(1)
+		ok, herr := again()
+		if herr != nil {
+			return herr
+		}
+		if ok {
+			e.retryHits.Add(1)
+			return nil
+		}
+	}
+
+	// Rung 2: targeted word-level recovery.
+	e.wordAttempts.Add(1)
+	if e.cache.RecoverWord(ue.Array, ue.Set, ue.Way) {
+		ok, herr := again()
+		if herr != nil {
+			return herr
+		}
+		if ok {
+			e.wordHits.Add(1)
+			return nil
+		}
+	}
+
+	// Rung 3: full 2D recovery over the bank.
+	e.fullAttempts.Add(1)
+	if e.cache.RecoverSetArrays(ue.Set) {
+		ok, herr := again()
+		if herr != nil {
+			return herr
+		}
+		if ok {
+			e.fullHits.Add(1)
+			return nil
+		}
+	}
+
+	// Rung 4: graceful degradation. Each pass retires the named way;
+	// once a whole set is retired its accesses bypass the arrays, so
+	// this terminates. The bound is a backstop against a pathological
+	// fault source that keeps naming fresh locations.
+	maxDegrades := e.cache.Config().Ways + 2
+	for i := 0; i < maxDegrades; i++ {
+		e.Degrade(ue.Set, ue.Way)
+		ok, herr := again()
+		if herr != nil {
+			return herr
+		}
+		if ok {
+			return nil
+		}
+	}
+	e.exhausted.Add(1)
+	return &pcache.UncorrectableError{Array: ue.Array, Set: ue.Set, Way: ue.Way}
+}
+
+// Degrade is rung 4 as a direct entry point (the scrubber uses it for
+// sweep victims): decommission the way, count lost dirty data, and try
+// to remap it to a spare row.
+func (e *Engine) Degrade(set, way int) (lostDirty bool) {
+	lostDirty = e.cache.Decommission(set, way)
+	e.decommissions.Add(1)
+	e.tryRemap(set, way)
+	return lostDirty
+}
+
+// tryRemap consults the spare-row budget: the faulty data row backing
+// (set, way) joins the accumulated fault list and a repair allocation
+// runs over the way-row space; if the plan covers every fault, the way
+// is remapped to a spare and returned to service. A way whose remap
+// fails again stays retired — its spare is presumed bad.
+func (e *Engine) tryRemap(set, way int) {
+	if e.cfg.SpareRows <= 0 {
+		return
+	}
+	cc := e.cache.Config()
+	key := set*cc.Ways + way
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.remappedOnce[key] {
+		return
+	}
+	faults := append(append([]redundancy.Fault{}, e.faultyRows...),
+		redundancy.Fault{Row: key})
+	plan, err := redundancy.Allocate(redundancy.Config{
+		Rows:      cc.Sets * cc.Ways,
+		Cols:      cc.LineBytes * 8,
+		SpareRows: e.cfg.SpareRows,
+	}, faults)
+	if err != nil || !plan.Repairable {
+		return // budget exhausted: the way stays retired
+	}
+	e.faultyRows = faults
+	e.remappedOnce[key] = true
+	e.cache.Reenable(set, way)
+	e.remaps.Add(1)
+}
+
+// Report is the health API: everything an operator needs to judge
+// whether the cache is keeping up with its fault environment.
+type Report struct {
+	// Accesses is the total Read/Write traffic observed.
+	Accesses uint64
+	// DUEs counts detected-uncorrectable events that entered the
+	// ladder; DUERate is DUEs per access.
+	DUEs    uint64
+	DUERate float64
+
+	// Per-rung escalation counts: attempts and the accesses each rung
+	// rescued.
+	Retries, RetrySuccesses      uint64
+	WordAttempts, WordRecoveries uint64
+	FullAttempts, FullRecoveries uint64
+	Decommissions                uint64
+	Remaps                       uint64
+	// Exhausted counts ladder runs that failed even after degradation
+	// (zero in a healthy system).
+	Exhausted uint64
+
+	// DirtyLinesLost counts decommissions that discarded unflushed
+	// dirty data — the accounted data-loss events.
+	DirtyLinesLost uint64
+
+	// DisabledWays/TotalWays give the decommissioned capacity;
+	// CapacityLostPct is the same as a percentage.
+	DisabledWays, TotalWays int
+	CapacityLostPct         float64
+
+	// MTTR is the mean time from DUE detection to ladder completion.
+	MTTR time.Duration
+
+	// Scrubber activity (zero if no scrubber is attached).
+	ScrubPasses, ScrubBackoffs, ScrubVictims uint64
+
+	// Cache is the raw cache counter snapshot.
+	Cache pcache.Stats
+}
+
+// Report snapshots the engine's health.
+func (e *Engine) Report() Report {
+	cc := e.cache.Config()
+	st := e.cache.Stats()
+	total := cc.Sets * cc.Ways
+	disabled := e.cache.DisabledWays()
+	r := Report{
+		Accesses:        e.cache.Accesses(),
+		DUEs:            e.dues.Load(),
+		Retries:         e.retries.Load(),
+		RetrySuccesses:  e.retryHits.Load(),
+		WordAttempts:    e.wordAttempts.Load(),
+		WordRecoveries:  e.wordHits.Load(),
+		FullAttempts:    e.fullAttempts.Load(),
+		FullRecoveries:  e.fullHits.Load(),
+		Decommissions:   e.decommissions.Load(),
+		Remaps:          e.remaps.Load(),
+		Exhausted:       e.exhausted.Load(),
+		DirtyLinesLost:  st.DirtyLinesLost,
+		DisabledWays:    disabled,
+		TotalWays:       total,
+		CapacityLostPct: 100 * float64(disabled) / float64(total),
+		Cache:           st,
+	}
+	if r.Accesses > 0 {
+		r.DUERate = float64(r.DUEs) / float64(r.Accesses)
+	}
+	if n := e.repairs.Load(); n > 0 {
+		r.MTTR = time.Duration(e.repairDuration.Load() / int64(n))
+	}
+	e.mu.Lock()
+	s := e.scrubber
+	e.mu.Unlock()
+	if s != nil {
+		r.ScrubPasses = s.Passes()
+		r.ScrubBackoffs = s.Backoffs()
+		r.ScrubVictims = s.Victims()
+	}
+	return r
+}

@@ -1,0 +1,28 @@
+package resilience
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the health report as the operator-facing summary the
+// soak tool prints.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "resilience health report\n")
+	fmt.Fprintf(&b, "  traffic:     %d accesses (%d hits, %d misses, %d writebacks, %d bypassed)\n",
+		r.Accesses, r.Cache.Hits, r.Cache.Misses, r.Cache.Writebacks, r.Cache.Bypassed)
+	fmt.Fprintf(&b, "  DUEs:        %d (rate %.3e per access), MTTR %v\n", r.DUEs, r.DUERate, r.MTTR)
+	fmt.Fprintf(&b, "  ladder:      retry %d/%d · word %d/%d · full-2D %d/%d · decommission %d (remapped %d, exhausted %d)\n",
+		r.RetrySuccesses, r.Retries,
+		r.WordRecoveries, r.WordAttempts,
+		r.FullRecoveries, r.FullAttempts,
+		r.Decommissions, r.Remaps, r.Exhausted)
+	fmt.Fprintf(&b, "  scrubbing:   %d passes, %d backoffs, %d victims retired\n",
+		r.ScrubPasses, r.ScrubBackoffs, r.ScrubVictims)
+	fmt.Fprintf(&b, "  capacity:    %d/%d ways disabled (%.1f%% lost)\n",
+		r.DisabledWays, r.TotalWays, r.CapacityLostPct)
+	fmt.Fprintf(&b, "  data loss:   %d dirty lines lost (accounted), %d errors recovered in-line\n",
+		r.DirtyLinesLost, r.Cache.ErrorsRecovered)
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// ScrubberConfig tunes the background sweeper.
+type ScrubberConfig struct {
+	// Interval is the pause between completed sweeps (default 50ms).
+	Interval time.Duration
+	// HighRate, in accesses/second, is the traffic level above which
+	// the scrubber backs off instead of sweeping. Zero disables
+	// traffic-awareness (the scrubber always sweeps on schedule).
+	HighRate float64
+	// PollInterval is how often a backed-off scrubber re-checks the
+	// load (default Interval/5, min 1ms).
+	PollInterval time.Duration
+	// MaxDelay bounds how long a sweep may be deferred under sustained
+	// load before it runs anyway — the catch-up guarantee (default
+	// 10×Interval).
+	MaxDelay time.Duration
+}
+
+func (c ScrubberConfig) withDefaults() ScrubberConfig {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = c.Interval / 5
+		if c.PollInterval < time.Millisecond {
+			c.PollInterval = time.Millisecond
+		}
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 10 * c.Interval
+	}
+	return c
+}
+
+// Scrubber sweeps every protected sub-array with full 2D recovery on a
+// configurable interval, traffic-aware: it backs off while the access
+// rate is high and catches up when the cache goes idle (cf. Kishani et
+// al.'s traffic-aware ECC maintenance). Victims a sweep cannot repair
+// are handed to the engine's degrade rung.
+type Scrubber struct {
+	engine *Engine
+	cfg    ScrubberConfig
+
+	// accessFn, clock and sleep are injection points for tests; they
+	// default to the cache's access counter and real time.
+	accessFn func() uint64
+	clock    func() time.Time
+	sleep    func(ctx context.Context, d time.Duration) bool
+
+	passes   atomic.Uint64
+	backoffs atomic.Uint64
+	victims  atomic.Uint64
+}
+
+// NewScrubber builds the engine's background scrubber and attaches it
+// so Report includes scrub activity. Call Run to start it.
+func (e *Engine) NewScrubber(cfg ScrubberConfig) *Scrubber {
+	s := &Scrubber{
+		engine:   e,
+		cfg:      cfg.withDefaults(),
+		accessFn: e.cache.Accesses,
+		clock:    e.clock,
+		sleep:    realSleep,
+	}
+	e.mu.Lock()
+	e.scrubber = s
+	e.mu.Unlock()
+	return s
+}
+
+func realSleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Passes returns completed sweep count.
+func (s *Scrubber) Passes() uint64 { return s.passes.Load() }
+
+// Backoffs returns how many times a sweep was deferred under load.
+func (s *Scrubber) Backoffs() uint64 { return s.backoffs.Load() }
+
+// Victims returns how many unrepairable ways sweeps have retired.
+func (s *Scrubber) Victims() uint64 { return s.victims.Load() }
+
+// Sweep runs one full scrubbing pass over every bank, degrading any
+// ways whose damage exceeds 2D coverage. It reports whether every bank
+// checked (or was repaired) clean without needing degradation.
+func (s *Scrubber) Sweep() bool {
+	c := s.engine.cache
+	clean := true
+	for i := 0; i < c.NumBanks(); i++ {
+		ok, victims := c.ScrubBank(i)
+		if !ok {
+			clean = false
+			for _, v := range victims {
+				s.victims.Add(1)
+				s.engine.Degrade(v.Set, v.Way)
+			}
+		}
+	}
+	s.passes.Add(1)
+	return clean
+}
+
+// Run sweeps until ctx is cancelled, returning ctx.Err(). Between
+// sweeps it sleeps Interval; when the observed access rate exceeds
+// HighRate it defers the sweep in PollInterval steps, up to MaxDelay,
+// then sweeps regardless (catch-up).
+func (s *Scrubber) Run(ctx context.Context) error {
+	lastAcc := s.accessFn()
+	lastT := s.clock()
+	for {
+		if !s.sleep(ctx, s.cfg.Interval) {
+			return ctx.Err()
+		}
+		deferred := time.Duration(0)
+		for s.cfg.HighRate > 0 {
+			now := s.clock()
+			acc := s.accessFn()
+			dt := now.Sub(lastT).Seconds()
+			if dt <= 0 {
+				dt = s.cfg.Interval.Seconds()
+			}
+			rate := float64(acc-lastAcc) / dt
+			lastAcc, lastT = acc, now
+			if rate <= s.cfg.HighRate || deferred >= s.cfg.MaxDelay {
+				break
+			}
+			s.backoffs.Add(1)
+			if !s.sleep(ctx, s.cfg.PollInterval) {
+				return ctx.Err()
+			}
+			deferred += s.cfg.PollInterval
+		}
+		s.Sweep()
+	}
+}

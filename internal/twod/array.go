@@ -2,6 +2,7 @@ package twod
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"twodcache/internal/bitvec"
 	"twodcache/internal/ecc"
@@ -37,7 +38,8 @@ func (c Config) Validate() error {
 }
 
 // Stats counts array activity; the CMP simulator and the overhead
-// benches consume these.
+// benches consume these. Counters are maintained with atomic adds so
+// concurrent readers holding a shared lock (see TryRead) do not race.
 type Stats struct {
 	// Reads is the number of word read operations.
 	Reads uint64
@@ -140,10 +142,28 @@ func (a *Array) Config() Config { return a.cfg }
 func (a *Array) Layout() Layout { return a.layout }
 
 // Stats returns a snapshot of the activity counters.
-func (a *Array) Stats() Stats { return a.stats }
+func (a *Array) Stats() Stats {
+	return Stats{
+		Reads:             atomic.LoadUint64(&a.stats.Reads),
+		Writes:            atomic.LoadUint64(&a.stats.Writes),
+		ExtraReads:        atomic.LoadUint64(&a.stats.ExtraReads),
+		InlineCorrections: atomic.LoadUint64(&a.stats.InlineCorrections),
+		Recoveries:        atomic.LoadUint64(&a.stats.Recoveries),
+		RecoveredWords:    atomic.LoadUint64(&a.stats.RecoveredWords),
+		Uncorrectable:     atomic.LoadUint64(&a.stats.Uncorrectable),
+	}
+}
 
 // ResetStats zeroes the activity counters.
-func (a *Array) ResetStats() { a.stats = Stats{} }
+func (a *Array) ResetStats() {
+	atomic.StoreUint64(&a.stats.Reads, 0)
+	atomic.StoreUint64(&a.stats.Writes, 0)
+	atomic.StoreUint64(&a.stats.ExtraReads, 0)
+	atomic.StoreUint64(&a.stats.InlineCorrections, 0)
+	atomic.StoreUint64(&a.stats.Recoveries, 0)
+	atomic.StoreUint64(&a.stats.RecoveredWords, 0)
+	atomic.StoreUint64(&a.stats.Uncorrectable, 0)
+}
 
 // Words returns the number of addressable words.
 func (a *Array) Words() int { return a.layout.Words() }
@@ -196,17 +216,27 @@ func (a *Array) Write(r, w int, data *bitvec.Vector) ReadStatus {
 	if data.Len() != a.DataBits() {
 		panic(fmt.Sprintf("twod: Write data width %d != %d", data.Len(), a.DataBits()))
 	}
-	a.stats.Writes++
-	a.stats.ExtraReads++ // the read-before-write
+	atomic.AddUint64(&a.stats.Writes, 1)
+	atomic.AddUint64(&a.stats.ExtraReads, 1) // the read-before-write
 	status := ReadClean
 	if a.checkWord(r, w) != 0 {
 		// Latent error under the write target: repair before computing
 		// the delta, otherwise the corruption would poison the parity.
 		if !a.repairWord(r, w) {
-			status = ReadUncorrectable
-		} else {
-			status = ReadRecovered
+			// Unrepairable latent damage. A delta against the corrupted
+			// old word would fold its unknown error pattern into the
+			// vertical parity with no faulty word left to flag it; a
+			// later row-mode recovery would then replay that residue
+			// into an innocent row of the group — silent corruption if
+			// the residue happens to be a valid codeword pattern.
+			// Overwrite raw and rebuild parity from the array as it now
+			// stands: rows that remain faulty keep failing their
+			// horizontal check and surface as detected-uncorrectable.
+			a.storeRaw(r, w, a.cfg.Horizontal.Encode(data))
+			a.rebuildParity()
+			return ReadUncorrectable
 		}
+		status = ReadRecovered
 	}
 	a.store(r, w, a.cfg.Horizontal.Encode(data))
 	return status
@@ -216,7 +246,7 @@ func (a *Array) Write(r, w int, data *bitvec.Vector) ReadStatus {
 // escalating to in-line SECDED correction or full 2D recovery as
 // needed.
 func (a *Array) Read(r, w int) (*bitvec.Vector, ReadStatus) {
-	a.stats.Reads++
+	atomic.AddUint64(&a.stats.Reads, 1)
 	cw := a.extract(r, w)
 	res, _ := a.cfg.Horizontal.Decode(cw)
 	switch res {
@@ -226,7 +256,7 @@ func (a *Array) Read(r, w int) (*bitvec.Vector, ReadStatus) {
 		// SECDED fixed a single-bit error in the copy; write the repair
 		// back to the cells. The vertical parity reflects intended
 		// contents, so restoring a corrupted cell must NOT touch parity.
-		a.stats.InlineCorrections++
+		atomic.AddUint64(&a.stats.InlineCorrections, 1)
 		a.storeRaw(r, w, cw)
 		return a.cfg.Horizontal.Data(cw), ReadCorrectedInline
 	default:
@@ -237,6 +267,62 @@ func (a *Array) Read(r, w int) (*bitvec.Vector, ReadStatus) {
 		cw = a.extract(r, w)
 		return a.cfg.Horizontal.Data(cw), ReadRecovered
 	}
+}
+
+// TryRead returns word (r, w) if its horizontal code checks clean,
+// WITHOUT mutating the array: no inline correction, no recovery. The
+// second result is false when the word needs repair, in which case the
+// caller must escalate to Read (or Recover) under exclusive access.
+// Because the only side effect is an atomic counter, TryRead is safe
+// for many concurrent callers as long as no writer runs — the
+// shared-lock fast path of a concurrent cache.
+func (a *Array) TryRead(r, w int) (*bitvec.Vector, bool) {
+	atomic.AddUint64(&a.stats.Reads, 1)
+	cw := a.extract(r, w)
+	if a.cfg.Horizontal.SyndromeBits(cw) != 0 {
+		return nil, false
+	}
+	return a.cfg.Horizontal.Data(cw), true
+}
+
+// CorrectWord attempts a targeted word-level repair of (r, w) using the
+// horizontal code only — no array-wide recovery march. It reports
+// whether the word now checks clean. Detection-only horizontal codes
+// (EDCn) can confirm a clean word but never repair a dirty one; a
+// correcting code (SECDED) fixes single-bit errors in place. This is
+// the cheap middle rung of a recovery escalation ladder: between a bare
+// retry and the full Fig. 4(b) recovery process.
+func (a *Array) CorrectWord(r, w int) bool {
+	cw := a.extract(r, w)
+	res, _ := a.cfg.Horizontal.Decode(cw)
+	switch res {
+	case ecc.Clean:
+		return true
+	case ecc.Corrected:
+		// Restoring corrupted cells to their intended value must not
+		// touch the vertical parity (it already reflects intent).
+		atomic.AddUint64(&a.stats.InlineCorrections, 1)
+		a.storeRaw(r, w, cw)
+		return true
+	default:
+		return false
+	}
+}
+
+// FaultyWordList returns the coordinates of every word whose horizontal
+// code currently flags an error, without mutating anything. Scrubbers
+// use it after a failed recovery to map residual damage back to the
+// cache lines that must be decommissioned.
+func (a *Array) FaultyWordList() [][2]int {
+	var out [][2]int
+	for r := 0; r < a.cfg.Rows; r++ {
+		for w := 0; w < a.cfg.WordsPerRow; w++ {
+			if a.checkWord(r, w) != 0 {
+				out = append(out, [2]int{r, w})
+			}
+		}
+	}
+	return out
 }
 
 // storeRaw writes codeword bits without a parity delta — used only to
@@ -289,7 +375,7 @@ func (a *Array) ForceWrite(r, w int, data *bitvec.Vector) {
 	if data.Len() != a.DataBits() {
 		panic(fmt.Sprintf("twod: ForceWrite data width %d != %d", data.Len(), a.DataBits()))
 	}
-	a.stats.Writes++
+	atomic.AddUint64(&a.stats.Writes, 1)
 	a.storeRaw(r, w, a.cfg.Horizontal.Encode(data))
 	a.rebuildParity()
 }

@@ -1,6 +1,8 @@
 package twod
 
 import (
+	"sync/atomic"
+
 	"twodcache/internal/bitvec"
 	"twodcache/internal/ecc"
 )
@@ -81,7 +83,7 @@ func (r RecoveryReport) CyclesEstimate() int {
 //  4. Re-verify; refresh parity rows if the data is clean but parity is
 //     stale (errors struck the parity storage itself).
 func (a *Array) Recover() RecoveryReport {
-	a.stats.Recoveries++
+	atomic.AddUint64(&a.stats.Recoveries, 1)
 	rep := RecoveryReport{}
 
 	faultyWords, faultyRows := a.scan(&rep)
@@ -117,6 +119,14 @@ func (a *Array) Recover() RecoveryReport {
 		rep.Mode = RecoveryRow
 		for r := range faultyRows {
 			m := mismatch[a.group(r)]
+			if !a.rowDeltaPlausible(r, m) {
+				// The mismatch carries bits the horizontal code cannot
+				// attribute to this row's errors: the parity itself is
+				// stale or struck. XOR-ing it in could forge a
+				// valid-looking word — leave the row for verification
+				// to flag rather than guess (Fig. 4(b) step 4).
+				continue
+			}
 			rep.BitsFlipped += m.PopCount()
 			a.data.XorRow(r, m)
 		}
@@ -134,7 +144,7 @@ func (a *Array) Recover() RecoveryReport {
 			if a.checkWord(r, w) != 0 {
 				rep.Mode = RecoveryFailed
 				rep.Success = false
-				a.stats.Uncorrectable++
+				atomic.AddUint64(&a.stats.Uncorrectable, 1)
 				return rep
 			}
 		}
@@ -148,14 +158,14 @@ func (a *Array) Recover() RecoveryReport {
 			// some word): refuse to mask it.
 			rep.Mode = RecoveryFailed
 			rep.Success = false
-			a.stats.Uncorrectable++
+			atomic.AddUint64(&a.stats.Uncorrectable, 1)
 			return rep
 		}
 		a.rebuildParity()
 		rep.ParityRefreshed = true
 	}
 	rep.Success = true
-	a.stats.RecoveredWords += uint64(rep.FaultyWords)
+	atomic.AddUint64(&a.stats.RecoveredWords, uint64(rep.FaultyWords))
 	return rep
 }
 
@@ -173,6 +183,36 @@ func (a *Array) scan(rep *RecoveryReport) (map[[2]int]uint64, map[int]bool) {
 		}
 	}
 	return faultyWords, faultyRows
+}
+
+// rowDeltaPlausible reports whether mismatch m is a credible error
+// pattern for row r: every word the horizontal code flags must be
+// explained by m's slice (matching syndrome), and every clean word's
+// slice must be empty. A failure means the group's parity disagrees
+// with the data for reasons beyond this row — applying m would write
+// garbage into words that were never faulty. Code-valid garbage
+// confined to an already-faulty word is indistinguishable from a real
+// error pattern and remains beyond coverage, as in the paper.
+func (a *Array) rowDeltaPlausible(r int, m *bitvec.Vector) bool {
+	for w := 0; w < a.cfg.WordsPerRow; w++ {
+		slice := bitvec.New(a.layout.CodewordBits)
+		for b := 0; b < a.layout.CodewordBits; b++ {
+			if m.Bit(a.layout.PhysColumn(w, b)) {
+				slice.Set(b, true)
+			}
+		}
+		syn := a.checkWord(r, w)
+		if syn == 0 {
+			if !slice.IsZero() {
+				return false
+			}
+			continue
+		}
+		if a.cfg.Horizontal.SyndromeBits(slice) != syn {
+			return false
+		}
+	}
+	return true
 }
 
 // verticalMismatch returns, per group, the XOR of the stored parity row

@@ -1,0 +1,103 @@
+package twod
+
+// Stale vertical parity is the one way the 2D scheme can be tricked
+// into *manufacturing* corruption: row-mode recovery XORs the group's
+// parity mismatch into a faulty row, so any residue in that mismatch
+// that does not belong to the row gets written into it — and if the
+// residue happens to be a valid codeword pattern, the forged word
+// passes every later check. These tests pin the two defences:
+//
+//  1. Recover refuses a row-mode delta the horizontal code cannot
+//     attribute to the row (rowDeltaPlausible);
+//  2. Write never computes a parity delta against a corrupted old
+//     word it failed to repair (it rebuilds parity instead).
+
+import (
+	"testing"
+
+	"twodcache/internal/bitvec"
+)
+
+// TestRecoverRefusesStaleParityCrossWord: parity of group 0 takes a
+// code-valid two-bit hit in word slot 1 (EDC8 bits 0 and 8 share a
+// parity column) while row 0 has an ordinary recoverable single-bit
+// error in word slot 0. A trusting row-mode repair would fix word 0
+// and silently forge word 1 into a valid-but-wrong codeword; the
+// plausibility guard must refuse instead.
+func TestRecoverRefusesStaleParityCrossWord(t *testing.T) {
+	a := smallEDCArray(t)
+	fillArray(a, 0x4444)
+	golden := a.SnapshotData()
+	lay := a.Layout()
+
+	a.FlipParityBit(0, lay.PhysColumn(1, 0))
+	a.FlipParityBit(0, lay.PhysColumn(1, 8))
+	a.FlipBit(0, lay.PhysColumn(0, 3))
+
+	rep := a.Recover()
+	if rep.Success {
+		t.Fatalf("recovery claimed success over stale parity: %+v", rep)
+	}
+	// The untouched word must not have been forged: every bit of row 0
+	// outside the injected flip must still match the golden snapshot.
+	row, want := a.SnapshotData().Row(0), golden.Row(0)
+	bad := lay.PhysColumn(0, 3)
+	for c := 0; c < lay.RowBits(); c++ {
+		if c == bad {
+			continue
+		}
+		if row.Bit(c) != want.Bit(c) {
+			t.Fatalf("recovery forged bit %d of row 0 from stale parity", c)
+		}
+	}
+}
+
+// TestWriteOverUncorrectableDoesNotPoisonParity: overwriting a word
+// that holds unrepairable latent damage must not fold the old error
+// pattern into the vertical parity. Afterwards the parity must be
+// consistent with the array as stored, the new data must read back
+// clean, and the damage that remains elsewhere must stay *detected* —
+// never replayed into other rows by a later recovery.
+func TestWriteOverUncorrectableDoesNotPoisonParity(t *testing.T) {
+	a := smallEDCArray(t)
+	fillArray(a, 0x5555)
+	golden := a.SnapshotData()
+	injectBeyondCoverage(a) // rows 0 and 4, word 0: ambiguous pair
+
+	if st := a.Write(0, 0, bitvec.FromUint64(0xABCD, 64)); st != ReadUncorrectable {
+		t.Fatalf("write over latent uncorrectable damage: status %v", st)
+	}
+	if got, ok := a.TryRead(0, 0); !ok || got.Uint64() != 0xABCD {
+		t.Fatalf("overwritten word did not read back clean: ok=%v", ok)
+	}
+	rep := a.VerifyIntegrity()
+	if rep.FaultyWords != 1 {
+		t.Fatalf("want exactly row 4's word still faulty, got %d faulty words", rep.FaultyWords)
+	}
+	if rep.ParityMismatches != 0 {
+		t.Fatalf("write poisoned the vertical parity: %d mismatched groups", rep.ParityMismatches)
+	}
+
+	// A later recovery cannot reconstruct row 4 (its error was absorbed
+	// by the rebuild) — it must say so, not scribble on other rows.
+	rec := a.Recover()
+	if rec.Success {
+		t.Fatalf("recovery claimed success with absorbed damage: %+v", rec)
+	}
+	snap := a.SnapshotData()
+	for r := 0; r < a.Rows(); r++ {
+		if r == 0 || r == 4 {
+			continue
+		}
+		if !snap.Row(r).Equal(golden.Row(r)) {
+			t.Fatalf("row %d changed by write/recover of other rows", r)
+		}
+	}
+
+	// The machine-check reload of the damaged word restores a fully
+	// clean, consistent array.
+	a.ForceWrite(4, 0, bitvec.FromUint64(0, 64))
+	if rep := a.VerifyIntegrity(); !rep.Clean() {
+		t.Fatalf("array not clean after reloading the damaged word: %+v", rep)
+	}
+}

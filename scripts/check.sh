@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the tier-1 verify loop, `make check`-equivalent.
+#
+#   ./scripts/check.sh          # vet + build + test + race on concurrency-hardened packages
+#   ./scripts/check.sh -full    # additionally race-test every package
+#
+# The race pass covers the packages with concurrent hot paths (banked
+# pcache locking, the resilience engine/scrubber, atomic twod stats);
+# -full extends it to the whole module.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test ./..."
+go test ./...
+if [ "${1:-}" = "-full" ]; then
+    echo "== go test -race ./... (full)"
+    go test -race ./...
+else
+    echo "== go test -race (concurrency-hardened packages)"
+    go test -race ./internal/twod/ ./internal/pcache/ ./internal/resilience/
+fi
+echo "check: OK"
