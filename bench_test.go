@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"twodcache/internal/bitvec"
 	"twodcache/internal/ecc"
 	"twodcache/internal/experiments"
 	"twodcache/internal/fault"
@@ -423,4 +424,112 @@ func BenchmarkProtectedCacheAccess(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- word-kernel micro-benches ------------------------------------------
+//
+// One encode and one decode bench per representative code, all through
+// the allocation-free kernel interface (EncodeInto/DecodeInPlace).
+// results/BENCH_kernels.md tracks these against the pre-kernel Vector
+// path.
+
+func kernelBenchCodes(b *testing.B) []ecc.Code {
+	b.Helper()
+	dec, err := ecc.NewDECTED(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []ecc.Code{
+		ecc.MustEDC(64, 8),
+		ecc.MustEDC(64, 16),
+		ecc.MustSECDED(64),
+		dec,
+	}
+}
+
+func BenchmarkKernelEncode(b *testing.B) {
+	for _, c := range kernelBenchCodes(b) {
+		b.Run(c.Name(), func(b *testing.B) {
+			data := bitvec.MakeCodeword([]uint64{0x123456789ABCDEF0}, 64)
+			cw := bitvec.MakeCodeword(make([]uint64, bitvec.WordsFor(ecc.CodewordBits(c))), ecc.CodewordBits(c))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.EncodeInto(cw, data)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelDecodeClean(b *testing.B) {
+	for _, c := range kernelBenchCodes(b) {
+		b.Run(c.Name(), func(b *testing.B) {
+			data := bitvec.MakeCodeword([]uint64{0x123456789ABCDEF0}, 64)
+			cw := bitvec.MakeCodeword(make([]uint64, bitvec.WordsFor(ecc.CodewordBits(c))), ecc.CodewordBits(c))
+			c.EncodeInto(cw, data)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res, _ := c.DecodeInPlace(cw); res != ecc.Clean {
+					b.Fatal("clean codeword decoded dirty")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKernelDecodeOneError(b *testing.B) {
+	for _, c := range kernelBenchCodes(b) {
+		if c.CorrectCapability() == 0 {
+			continue // detection-only codes cannot run a correct loop
+		}
+		b.Run(c.Name(), func(b *testing.B) {
+			n := ecc.CodewordBits(c)
+			data := bitvec.MakeCodeword([]uint64{0x123456789ABCDEF0}, 64)
+			cw := bitvec.MakeCodeword(make([]uint64, bitvec.WordsFor(n)), n)
+			c.EncodeInto(cw, data)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cw.Flip(i % n)
+				if res, _ := c.DecodeInPlace(cw); res != ecc.Corrected {
+					b.Fatal("single error not corrected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPCacheParallelReadInto is BenchmarkPCacheParallelRead
+// through the zero-allocation ReadInto entry point: the remaining
+// ns/op is pure lock + kernel cost, with no garbage generated.
+func BenchmarkPCacheParallelReadInto(b *testing.B) {
+	backing := NewMemoryBacking(64)
+	c, err := NewProtectedCache(ProtectedCacheConfig{
+		Sets: 256, Ways: 4, LineBytes: 64, Banks: 8,
+	}, backing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for l := uint64(0); l < 256*4; l++ {
+		if err := c.Write(l*64, []byte{byte(l)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var workerSeed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(workerSeed.Add(1)))
+		dst := make([]byte, 8)
+		for pb.Next() {
+			l := uint64(rng.Intn(256 * 4))
+			if err := c.ReadInto(l*64, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -131,7 +131,9 @@ type ProtectedCacheConfig = pcache.Config
 
 // ProtectedCache is a functional write-back cache whose data AND tag
 // stores live in 2D-coded arrays: reads and writes transparently
-// detect and repair injected bit errors.
+// detect and repair injected bit errors. Latency-sensitive callers
+// should prefer ReadInto over Read: a clean hit served through
+// ReadInto (or Write) performs zero heap allocations end to end.
 type ProtectedCache = pcache.Cache
 
 // CacheBacking is the next memory level behind a ProtectedCache.

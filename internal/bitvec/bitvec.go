@@ -35,14 +35,16 @@ func New(n int) *Vector {
 // are ignored; missing bytes are treated as zero.
 func FromBytes(b []byte, n int) *Vector {
 	v := New(n)
-	for i := 0; i < n; i++ {
-		byteIdx := i / 8
-		if byteIdx >= len(b) {
-			break
-		}
-		if b[byteIdx]&(1<<(i%8)) != 0 {
-			v.Set(i, true)
-		}
+	nb := (n + 7) / 8
+	if nb > len(b) {
+		nb = len(b)
+	}
+	for i := 0; i < nb; i++ {
+		v.words[i/8] |= uint64(b[i]) << (8 * uint(i%8))
+	}
+	// Bits beyond n in the straddling byte must not leak into the vector.
+	if rem := n % wordBits; rem != 0 && nb*8 > n {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
 	}
 	return v
 }
@@ -190,6 +192,27 @@ func (v *Vector) Ones() []int {
 		}
 	}
 	return idx
+}
+
+// AppendUint64 grows the vector by nb bits (nb <= 64) holding the low
+// nb bits of x, returning v for chaining.
+func (v *Vector) AppendUint64(x uint64, nb int) *Vector {
+	if nb < 0 || nb > wordBits {
+		panic(fmt.Sprintf("bitvec: AppendUint64 width %d out of [0,64]", nb))
+	}
+	off := v.n
+	v.n += nb
+	for len(v.words) < WordsFor(v.n) {
+		v.words = append(v.words, 0)
+	}
+	MakeCodeword(v.words, v.n).StoreBits(off, nb, x)
+	return v
+}
+
+// Uint64At returns up to 64 bits starting at bit offset off, shifted
+// down to bit 0 and zero-padded past the end of the vector.
+func (v *Vector) Uint64At(off int) uint64 {
+	return v.AsCodeword().Uint64At(off)
 }
 
 // Uint64 returns the low 64 bits of the vector as a uint64.

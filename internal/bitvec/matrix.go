@@ -40,6 +40,11 @@ func (m *Matrix) Flip(r, c int) { m.row(r).Flip(c) }
 // Row returns the Vector backing row r. Mutating it mutates the matrix.
 func (m *Matrix) Row(r int) *Vector { return m.row(r) }
 
+// RowWords returns row r's backing words for allocation-free kernel
+// access. Mutating them mutates the matrix; bits >= Cols in the last
+// word must stay zero.
+func (m *Matrix) RowWords(r int) []uint64 { return m.row(r).words }
+
 func (m *Matrix) row(r int) *Vector {
 	if r < 0 || r >= m.rows {
 		panic(fmt.Sprintf("bitvec: row %d out of range [0,%d)", r, m.rows))

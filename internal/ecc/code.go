@@ -7,6 +7,7 @@ package ecc
 
 import (
 	"fmt"
+	"sync"
 
 	"twodcache/internal/bch"
 	"twodcache/internal/bitvec"
@@ -25,6 +26,16 @@ const (
 // Code is a systematic per-word error code. Encode appends check bits to
 // the data word; Decode checks (and for correcting codes, repairs) a
 // codeword in place.
+//
+// Every code exposes two equivalent data paths. The legacy Vector path
+// (Encode/Decode/Data) allocates its results and is the convenient API
+// for experiments and tools. The word-kernel path
+// (EncodeInto/DecodeInPlace) operates on bitvec.Codeword views over
+// caller-owned []uint64 scratch and performs no heap allocation for the
+// parity/Hsiao codes (the BCH codes amortise through an internal
+// scratch pool) — it is the API the per-access hot paths in twod and
+// pcache use. FuzzKernelVsVector pins the two paths to identical
+// outcomes.
 type Code interface {
 	// Name identifies the code, e.g. "EDC8", "SECDED", "OECNED".
 	Name() string
@@ -45,6 +56,12 @@ type Code interface {
 	Decode(cw *bitvec.Vector) (Result, int)
 	// Data extracts the data bits from a codeword.
 	Data(cw *bitvec.Vector) *bitvec.Vector
+	// EncodeInto writes the codeword for data (a DataBits-bit view)
+	// into cw (a CodewordBits-bit view). The views must not overlap.
+	EncodeInto(cw, data bitvec.Codeword)
+	// DecodeInPlace is Decode over a word view: it verifies cw,
+	// correcting in place when possible, without allocating.
+	DecodeInPlace(cw bitvec.Codeword) (Result, int)
 }
 
 // CodewordBits returns the total codeword size of c.
@@ -61,6 +78,17 @@ func StorageOverhead(c Code) float64 {
 type bchCode struct {
 	name string
 	c    *bch.Code
+	// scratch pools the Vector conversion buffers for the kernel
+	// methods: the algebraic decoder works on Vectors internally, so
+	// the word-kernel path adapts through pooled scratch instead of
+	// allocating fresh vectors per call.
+	scratch sync.Pool
+}
+
+// bchVecs is one pooled set of conversion buffers.
+type bchVecs struct {
+	data *bitvec.Vector // k bits
+	cw   *bitvec.Vector // k + r bits
 }
 
 // NewBCHCode wraps a t-error-correcting, (t+1)-detecting BCH code for k
@@ -70,7 +98,14 @@ func NewBCHCode(name string, k, t int) (Code, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ecc: %s: %w", name, err)
 	}
-	return &bchCode{name: name, c: c}, nil
+	b := &bchCode{name: name, c: c}
+	b.scratch.New = func() any {
+		return &bchVecs{
+			data: bitvec.New(c.K()),
+			cw:   bitvec.New(c.K() + c.ParityBits()),
+		}
+	}
+	return b, nil
 }
 
 // NewDECTED returns a double-error-correct triple-error-detect code.
@@ -138,6 +173,29 @@ func (b *bchCode) Decode(cw *bitvec.Vector) (Result, int) {
 
 func (b *bchCode) Data(cw *bitvec.Vector) *bitvec.Vector {
 	return cw.Slice(0, b.c.K())
+}
+
+// EncodeInto implements the word-kernel path by adapting through the
+// pooled Vector scratch: the BCH encoder itself stays algebraic.
+func (b *bchCode) EncodeInto(cw, data bitvec.Codeword) {
+	s := b.scratch.Get().(*bchVecs)
+	s.data.AsCodeword().CopyFrom(data)
+	out := b.Encode(s.data)
+	cw.CopyFrom(out.AsCodeword())
+	b.scratch.Put(s)
+}
+
+// DecodeInPlace implements the word-kernel path through the scratch
+// pool; corrections are copied back into the caller's view.
+func (b *bchCode) DecodeInPlace(cw bitvec.Codeword) (Result, int) {
+	s := b.scratch.Get().(*bchVecs)
+	s.cw.AsCodeword().CopyFrom(cw)
+	res, n := b.Decode(s.cw)
+	if res == Corrected {
+		cw.CopyFrom(s.cw.AsCodeword())
+	}
+	b.scratch.Put(s)
+	return res, n
 }
 
 func boolToInt(b bool) int {

@@ -13,6 +13,9 @@ type HorizontalCode interface {
 	// SyndromeBits returns the syndrome of cw packed into a uint64
 	// (bit i = syndrome bit i). Zero means the word checks clean.
 	SyndromeBits(cw *bitvec.Vector) uint64
+	// SyndromeWords is SyndromeBits over a word-kernel view: the
+	// allocation-free per-access check the twod/pcache hot paths run.
+	SyndromeWords(cw bitvec.Codeword) uint64
 	// ParityColumn returns the parity-check column of codeword bit j,
 	// packed the same way: flipping bit j XORs this mask into the
 	// syndrome.
@@ -22,11 +25,7 @@ type HorizontalCode interface {
 // SyndromeBits implements HorizontalCode for EDC: bit g of the result is
 // parity group g's mismatch.
 func (e *EDC) SyndromeBits(cw *bitvec.Vector) uint64 {
-	var s uint64
-	for _, i := range e.Syndrome(cw).Ones() {
-		s |= 1 << uint(i)
-	}
-	return s
+	return e.SyndromeWords(cw.AsCodeword())
 }
 
 // ParityColumn implements HorizontalCode for EDC: data bit b belongs to

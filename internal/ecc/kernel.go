@@ -1,0 +1,88 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"twodcache/internal/bitvec"
+)
+
+// colKernel is the word-parallel H-matrix machinery shared by the
+// Hsiao-style column codes (SECDED, SECDED-SbED). Instead of walking a
+// codeword's set bits and XOR-ing per-bit columns, each of the r
+// parity-check rows is materialised as bit masks over the codeword
+// words: syndrome bit s is then the parity of (cw AND rowMask[s]),
+// one OnesCount64 per word — allocation-free and independent of the
+// codeword's weight.
+type colKernel struct {
+	k, r int
+	// rowMasks[s*cwWords+wi] masks the bits of codeword word wi whose
+	// parity-check column has bit s set.
+	rowMasks []uint64
+	cwWords  int
+}
+
+// makeColKernel builds the row masks from the per-bit columns.
+func makeColKernel(k, r int, cols []uint16) colKernel {
+	ck := colKernel{k: k, r: r, cwWords: bitvec.WordsFor(k + r)}
+	ck.rowMasks = make([]uint64, r*ck.cwWords)
+	for j, c := range cols {
+		for s := 0; s < r; s++ {
+			if c&(1<<uint(s)) != 0 {
+				ck.rowMasks[s*ck.cwWords+j/64] |= 1 << uint(j%64)
+			}
+		}
+	}
+	return ck
+}
+
+// syndromeWords computes H*cw over the raw codeword words.
+func (ck *colKernel) syndromeWords(w []uint64) uint16 {
+	var syn uint16
+	for s := 0; s < ck.r; s++ {
+		var acc uint64
+		row := ck.rowMasks[s*ck.cwWords : (s+1)*ck.cwWords]
+		for wi, m := range row {
+			acc ^= w[wi] & m
+		}
+		syn |= uint16(bits.OnesCount64(acc)&1) << uint(s)
+	}
+	return syn
+}
+
+// encodeInto writes data plus its check bits into cw. Because the
+// check-bit columns are the identity, the syndrome of (data || 0) is
+// exactly the check-bit value.
+func (ck *colKernel) encodeInto(cw, data bitvec.Codeword, name string) {
+	if data.Len() != ck.k || cw.Len() != ck.k+ck.r {
+		panic(fmt.Sprintf("ecc: %s EncodeInto lengths cw=%d data=%d want %d/%d",
+			name, cw.Len(), data.Len(), ck.k+ck.r, ck.k))
+	}
+	cw.Zero()
+	copy(cw.Words(), data.Words())
+	cw.StoreBits(ck.k, ck.r, uint64(ck.syndromeWords(cw.Words())))
+}
+
+// decodeInPlace runs the shared SEC-DED decision procedure: zero
+// syndrome is clean, even-weight syndromes are detected-uncorrectable,
+// and an odd-weight syndrome matching a column (via colIndex, mapping
+// column pattern to bit position + 1) flips that bit.
+func (ck *colKernel) decodeInPlace(cw bitvec.Codeword, colIndex map[uint16]int, name string) (Result, int) {
+	if cw.Len() != ck.k+ck.r {
+		panic(fmt.Sprintf("ecc: %s codeword length %d != %d", name, cw.Len(), ck.k+ck.r))
+	}
+	syn := ck.syndromeWords(cw.Words())
+	if syn == 0 {
+		return Clean, 0
+	}
+	if bits.OnesCount16(syn)%2 == 0 {
+		// Even, nonzero: double-bit error.
+		return Detected, 0
+	}
+	if j := colIndex[syn]; j != 0 {
+		cw.Flip(j - 1)
+		return Corrected, 1
+	}
+	// Odd-weight syndrome not matching any column: >= 3 errors.
+	return Detected, 0
+}

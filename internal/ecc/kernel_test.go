@@ -1,0 +1,152 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+
+	"twodcache/internal/bitvec"
+)
+
+// randData builds a random k-bit data vector.
+func randData(rng *rand.Rand, k int) *bitvec.Vector {
+	v := bitvec.New(k)
+	for i := 0; i < k; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// TestKernelMatchesVectorPath cross-checks EncodeInto/DecodeInPlace
+// against Encode/Decode for every registered code over random data and
+// random error patterns of increasing weight.
+func TestKernelMatchesVectorPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, c := range Registry() {
+		k, n := c.DataBits(), CodewordBits(c)
+		cwBuf := make([]uint64, bitvec.WordsFor(n))
+		for trial := 0; trial < 50; trial++ {
+			data := randData(rng, k)
+			want := c.Encode(data)
+			kcw := bitvec.MakeCodeword(cwBuf, n)
+			c.EncodeInto(kcw, data.AsCodeword())
+			if !kcw.Equal(want.AsCodeword()) {
+				t.Fatalf("%s: EncodeInto != Encode\n got %v\nwant %v", c.Name(), kcw.Words(), want.Words())
+			}
+			// Inject 0..DetectCapability+1 random flips into both copies.
+			nerr := rng.Intn(c.DetectCapability() + 2)
+			vcw := want.Clone()
+			for _, p := range rng.Perm(n)[:nerr] {
+				vcw.Flip(p)
+				kcw.Flip(p)
+			}
+			vres, vn := c.Decode(vcw)
+			kres, kn := c.DecodeInPlace(kcw)
+			if vres != kres || vn != kn {
+				t.Fatalf("%s: %d errors: DecodeInPlace (%v,%d) != Decode (%v,%d)",
+					c.Name(), nerr, kres, kn, vres, vn)
+			}
+			if !kcw.Equal(vcw.AsCodeword()) {
+				t.Fatalf("%s: %d errors: corrected codewords differ", c.Name(), nerr)
+			}
+		}
+	}
+}
+
+// TestHorizontalSyndromeWordsMatch pins SyndromeWords to SyndromeBits
+// for every horizontal code.
+func TestHorizontalSyndromeWordsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, c := range Registry() {
+		h, ok := c.(HorizontalCode)
+		if !ok {
+			continue
+		}
+		n := CodewordBits(h)
+		for trial := 0; trial < 100; trial++ {
+			cw := h.Encode(randData(rng, h.DataBits()))
+			for i := rng.Intn(4); i > 0; i-- {
+				cw.Flip(rng.Intn(n))
+			}
+			if got, want := h.SyndromeWords(cw.AsCodeword()), h.SyndromeBits(cw); got != want {
+				t.Fatalf("%s: SyndromeWords %#x != SyndromeBits %#x", h.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestKernelAllocFree verifies the parity/Hsiao kernels perform zero
+// heap allocations per op — the contract the twod/pcache hot paths
+// build on. (BCH kernels amortise via a pool and are exempt.)
+func TestKernelAllocFree(t *testing.T) {
+	for _, c := range []Code{MustEDC(64, 8), MustEDC(64, 16), MustSECDED(64), MustSECDEDSBD(64)} {
+		n := CodewordBits(c)
+		dataBuf := []uint64{0xDEADBEEFCAFEF00D}
+		cwBuf := make([]uint64, bitvec.WordsFor(n))
+		data := bitvec.MakeCodeword(dataBuf, 64)
+		cw := bitvec.MakeCodeword(cwBuf, n)
+		if a := testing.AllocsPerRun(200, func() { c.EncodeInto(cw, data) }); a != 0 {
+			t.Errorf("%s: EncodeInto allocates %.1f/op", c.Name(), a)
+		}
+		c.EncodeInto(cw, data)
+		if a := testing.AllocsPerRun(200, func() { c.DecodeInPlace(cw) }); a != 0 {
+			t.Errorf("%s: DecodeInPlace (clean) allocates %.1f/op", c.Name(), a)
+		}
+		h := c.(HorizontalCode)
+		if a := testing.AllocsPerRun(200, func() { h.SyndromeWords(cw) }); a != 0 {
+			t.Errorf("%s: SyndromeWords allocates %.1f/op", c.Name(), a)
+		}
+	}
+}
+
+// FuzzKernelVsVector drives random data words plus injected error
+// patterns through both the legacy Encode/Decode path and the new
+// EncodeInto/DecodeInPlace kernels for every code in the registry;
+// outcomes, corrected bit counts, and resulting codewords must match
+// exactly.
+func FuzzKernelVsVector(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0xDEADBEEF), uint64(1)<<63, uint64(3))
+	f.Add(^uint64(0), uint64(0x8000000000000001), ^uint64(0))
+	codes := Registry()
+	f.Fuzz(func(t *testing.T, dataBits, errLo, errHi uint64) {
+		for _, c := range codes {
+			k, n := c.DataBits(), CodewordBits(c)
+			data := bitvec.New(k)
+			for i := 0; i < k && i < 64; i++ {
+				if dataBits&(1<<uint(i)) != 0 {
+					data.Set(i, true)
+				}
+			}
+			vcw := c.Encode(data)
+			kcw := bitvec.MakeCodeword(make([]uint64, bitvec.WordsFor(n)), n)
+			c.EncodeInto(kcw, data.AsCodeword())
+			if !kcw.Equal(vcw.AsCodeword()) {
+				t.Fatalf("%s: EncodeInto != Encode", c.Name())
+			}
+			// Error pattern from the fuzzed 128-bit mask, wrapped over
+			// the codeword length.
+			for i := 0; i < n; i++ {
+				var hit bool
+				if i < 64 {
+					hit = errLo&(1<<uint(i)) != 0
+				} else if i < 128 {
+					hit = errHi&(1<<uint(i-64)) != 0
+				}
+				if hit {
+					vcw.Flip(i)
+					kcw.Flip(i)
+				}
+			}
+			vres, vn := c.Decode(vcw)
+			kres, kn := c.DecodeInPlace(kcw)
+			if vres != kres || vn != kn {
+				t.Fatalf("%s: DecodeInPlace (%v,%d) != Decode (%v,%d)", c.Name(), kres, kn, vres, vn)
+			}
+			if !kcw.Equal(vcw.AsCodeword()) {
+				t.Fatalf("%s: corrected codewords diverge", c.Name())
+			}
+		}
+	})
+}

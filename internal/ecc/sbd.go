@@ -19,8 +19,12 @@ import (
 // never miscorrected.
 type SECDEDSBD struct {
 	k, r, b  int
+	name     string
 	cols     []uint16
 	colIndex map[uint16]int
+	// kern is the word-parallel row-mask machinery behind the
+	// allocation-free EncodeInto/DecodeInPlace/SyndromeWords path.
+	kern colKernel
 }
 
 // sbdCache memoises the randomized column search per (k, b).
@@ -175,6 +179,8 @@ func trySBD(k, r, b int, candidates []uint16) *SECDEDSBD {
 	if !s.verify() {
 		return nil
 	}
+	s.kern = makeColKernel(k, r, s.cols)
+	s.name = fmt.Sprintf("SECDED-S%dED", b)
 	return s
 }
 
@@ -207,7 +213,7 @@ func (s *SECDEDSBD) verify() bool {
 }
 
 // Name returns "SECDED-S4ED" or "SECDED-S8ED".
-func (s *SECDEDSBD) Name() string { return fmt.Sprintf("SECDED-S%dED", s.b) }
+func (s *SECDEDSBD) Name() string { return s.name }
 
 // DataBits returns the data width.
 func (s *SECDEDSBD) DataBits() int { return s.k }
@@ -230,26 +236,24 @@ func (s *SECDEDSBD) Encode(data *bitvec.Vector) *bitvec.Vector {
 	if data.Len() != s.k {
 		panic(fmt.Sprintf("ecc: SBD encode length %d != k %d", data.Len(), s.k))
 	}
-	var syn uint16
-	for _, j := range data.Ones() {
-		syn ^= s.cols[j]
-	}
 	cw := bitvec.New(s.k + s.r)
-	cw.SetSlice(0, data)
-	for i := 0; i < s.r; i++ {
-		if syn&(1<<uint(i)) != 0 {
-			cw.Set(s.k+i, true)
-		}
-	}
+	s.EncodeInto(cw.AsCodeword(), data.AsCodeword())
 	return cw
 }
 
+// EncodeInto writes data plus check bits into cw without allocating.
+func (s *SECDEDSBD) EncodeInto(cw, data bitvec.Codeword) {
+	s.kern.encodeInto(cw, data, s.Name())
+}
+
 func (s *SECDEDSBD) syndrome(cw *bitvec.Vector) uint16 {
-	var syn uint16
-	for _, j := range cw.Ones() {
-		syn ^= s.cols[j]
-	}
-	return syn
+	return s.kern.syndromeWords(cw.Words())
+}
+
+// SyndromeWords returns the packed syndrome of a codeword view,
+// allocation-free.
+func (s *SECDEDSBD) SyndromeWords(cw bitvec.Codeword) uint64 {
+	return uint64(s.kern.syndromeWords(cw.Words()))
 }
 
 // Decode corrects single-bit errors and detects double-bit and
@@ -258,18 +262,12 @@ func (s *SECDEDSBD) Decode(cw *bitvec.Vector) (Result, int) {
 	if cw.Len() != s.k+s.r {
 		panic(fmt.Sprintf("ecc: SBD codeword length %d != %d", cw.Len(), s.k+s.r))
 	}
-	syn := s.syndrome(cw)
-	if syn == 0 {
-		return Clean, 0
-	}
-	if bits.OnesCount16(syn)%2 == 0 {
-		return Detected, 0
-	}
-	if j := s.colIndex[syn]; j != 0 {
-		cw.Flip(j - 1)
-		return Corrected, 1
-	}
-	return Detected, 0
+	return s.DecodeInPlace(cw.AsCodeword())
+}
+
+// DecodeInPlace is Decode on a word view without allocating.
+func (s *SECDEDSBD) DecodeInPlace(cw bitvec.Codeword) (Result, int) {
+	return s.kern.decodeInPlace(cw, s.colIndex, s.Name())
 }
 
 // Data extracts the data bits.

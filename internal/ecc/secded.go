@@ -19,6 +19,9 @@ type SECDED struct {
 	cols []uint16
 	// colIndex maps a column pattern back to its bit position + 1.
 	colIndex map[uint16]int
+	// kern is the word-parallel row-mask machinery behind the
+	// allocation-free EncodeInto/DecodeInPlace/SyndromeWords path.
+	kern colKernel
 }
 
 // NewSECDED builds the code for k data bits, picking the smallest r with
@@ -58,6 +61,7 @@ func NewSECDED(k int) (*SECDED, error) {
 	for j, c := range s.cols {
 		s.colIndex[c] = j + 1
 	}
+	s.kern = makeColKernel(k, r, s.cols)
 	return s, nil
 }
 
@@ -90,27 +94,25 @@ func (s *SECDED) Encode(data *bitvec.Vector) *bitvec.Vector {
 	if data.Len() != s.k {
 		panic(fmt.Sprintf("ecc: SECDED encode length %d != k %d", data.Len(), s.k))
 	}
-	var syn uint16
-	for _, j := range data.Ones() {
-		syn ^= s.cols[j]
-	}
 	cw := bitvec.New(s.k + s.r)
-	cw.SetSlice(0, data)
-	for i := 0; i < s.r; i++ {
-		if syn&(1<<uint(i)) != 0 {
-			cw.Set(s.k+i, true)
-		}
-	}
+	s.EncodeInto(cw.AsCodeword(), data.AsCodeword())
 	return cw
+}
+
+// EncodeInto writes data plus check bits into cw without allocating.
+func (s *SECDED) EncodeInto(cw, data bitvec.Codeword) {
+	s.kern.encodeInto(cw, data, "SECDED")
 }
 
 // syndrome computes H * cw.
 func (s *SECDED) syndrome(cw *bitvec.Vector) uint16 {
-	var syn uint16
-	for _, j := range cw.Ones() {
-		syn ^= s.cols[j]
-	}
-	return syn
+	return s.kern.syndromeWords(cw.Words())
+}
+
+// SyndromeWords returns the packed syndrome of a codeword view,
+// allocation-free.
+func (s *SECDED) SyndromeWords(cw bitvec.Codeword) uint64 {
+	return uint64(s.kern.syndromeWords(cw.Words()))
 }
 
 // Decode corrects a single-bit error in place; even-weight or unmatched
@@ -119,20 +121,12 @@ func (s *SECDED) Decode(cw *bitvec.Vector) (Result, int) {
 	if cw.Len() != s.k+s.r {
 		panic(fmt.Sprintf("ecc: SECDED codeword length %d != %d", cw.Len(), s.k+s.r))
 	}
-	syn := s.syndrome(cw)
-	if syn == 0 {
-		return Clean, 0
-	}
-	if bits.OnesCount16(syn)%2 == 0 {
-		// Even, nonzero: double-bit error.
-		return Detected, 0
-	}
-	if j := s.colIndex[syn]; j != 0 {
-		cw.Flip(j - 1)
-		return Corrected, 1
-	}
-	// Odd-weight syndrome not matching any column: >= 3 errors.
-	return Detected, 0
+	return s.DecodeInPlace(cw.AsCodeword())
+}
+
+// DecodeInPlace is Decode on a word view without allocating.
+func (s *SECDED) DecodeInPlace(cw bitvec.Codeword) (Result, int) {
+	return s.kern.decodeInPlace(cw, s.colIndex, "SECDED")
 }
 
 // Data extracts the data bits.

@@ -1,0 +1,66 @@
+package pcache
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestHitPathAllocFree pins the cache hit path to zero heap
+// allocations: once a line is resident and clean, ReadInto (fast path
+// under the shared bank lock) and Write (read-modify-write under the
+// exclusive lock) must not allocate. This holds for both the EDC
+// detection-only and the SECDED correcting configurations.
+func TestHitPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool deliberately drops items under the race detector,
+		// so the pooled TryRead fast path allocates by design there.
+		// The non-race tier-1 run enforces the zero-alloc contract.
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	for _, secded := range []bool{false, true} {
+		name := "EDC8"
+		if secded {
+			name = "SECDED"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := MustNew(Config{
+				Sets: 64, Ways: 4, LineBytes: 64, Banks: 4,
+				SECDEDHorizontal: secded,
+			}, NewMapBacking(64))
+			const addr = 0x1040
+			seed := make([]byte, 64)
+			for i := range seed {
+				seed[i] = byte(i * 7)
+			}
+			if err := c.Write(addr&^63, seed); err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]byte, 16)
+			if got := testing.AllocsPerRun(200, func() {
+				if err := c.ReadInto(addr, dst); err != nil {
+					t.Fatal(err)
+				}
+			}); got != 0 {
+				t.Errorf("ReadInto (clean hit) allocates %.1f/op", got)
+			}
+			src := make([]byte, 8)
+			var x uint64
+			if got := testing.AllocsPerRun(200, func() {
+				x++
+				binary.LittleEndian.PutUint64(src, x)
+				if err := c.Write(addr, src); err != nil {
+					t.Fatal(err)
+				}
+			}); got != 0 {
+				t.Errorf("Write (hit) allocates %.1f/op", got)
+			}
+			// The data must have survived the alloc-counted traffic.
+			if err := c.ReadInto(addr, dst[:8]); err != nil {
+				t.Fatal(err)
+			}
+			if got := binary.LittleEndian.Uint64(dst[:8]); got != x {
+				t.Fatalf("readback %#x != last write %#x", got, x)
+			}
+		})
+	}
+}

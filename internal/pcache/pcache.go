@@ -18,13 +18,13 @@
 package pcache
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
 	"sync/atomic"
 
-	"twodcache/internal/bitvec"
 	"twodcache/internal/ecc"
 	"twodcache/internal/twod"
 )
@@ -84,7 +84,9 @@ func (c Config) effectiveBanks() int {
 type Backing interface {
 	// ReadLine returns LineBytes bytes at the line-aligned address.
 	ReadLine(addr uint64) []byte
-	// WriteLine stores LineBytes bytes at the line-aligned address.
+	// WriteLine stores LineBytes bytes at the line-aligned address. The
+	// slice is a cache-owned scratch buffer reused across calls:
+	// implementations must copy it, never retain it.
 	WriteLine(addr uint64, data []byte)
 }
 
@@ -201,6 +203,12 @@ type bank struct {
 	// disabled marks decommissioned ways; mutated only under mu held
 	// exclusively, read under either lock mode.
 	disabled []bool
+
+	// lineBuf is the bank's line-sized staging buffer for the exclusive
+	// slow path (read-modify-write, fills, writebacks, flushes); reusing
+	// it keeps the hit path allocation-free. Only touched under mu held
+	// exclusively.
+	lineBuf []byte
 }
 
 // Cache is the protected cache: a banked array of 2D-coded data and
@@ -291,6 +299,7 @@ func New(cfg Config, backing Backing) (*Cache, error) {
 			tags:     tags,
 			lru:      make([]atomic.Uint64, spb*cfg.Ways),
 			disabled: make([]bool, spb*cfg.Ways),
+			lineBuf:  make([]byte, cfg.LineBytes),
 		}
 	}
 	return c, nil
@@ -403,15 +412,15 @@ func (c *Cache) noteSt(st twod.ReadStatus, array string, set, way int) error {
 // --- locked per-bank primitives (b.mu held exclusively) ----------------
 
 func (c *Cache) readTagLocked(b *bank, ls, way int) (uint64, error) {
-	w, st := b.tags.Read(ls, way)
+	v, st := b.tags.ReadUint64(ls, way)
 	if err := c.noteSt(st, ArrayTags, b.globalSet(c.setsPerBank, ls), way); err != nil {
 		return 0, err
 	}
-	return w.Uint64(), nil
+	return v, nil
 }
 
 func (c *Cache) writeTagLocked(b *bank, ls, way int, v uint64) error {
-	st := b.tags.Write(ls, way, bitvec.FromUint64(v, 64))
+	st := b.tags.WriteUint64(ls, way, v)
 	return c.noteSt(st, ArrayTags, b.globalSet(c.setsPerBank, ls), way)
 }
 
@@ -461,22 +470,19 @@ func (c *Cache) victimLocked(b *bank, ls int) (way int, ok bool, err error) {
 // dataRow maps (localSet, way) to the bank's data array row.
 func (c *Cache) dataRow(ls, way int) int { return ls*c.cfg.Ways + way }
 
-// readLineLocked fetches a full line from the bank's data array.
-func (c *Cache) readLineLocked(b *bank, ls, way int) ([]byte, error) {
-	out := make([]byte, c.cfg.LineBytes)
+// readLineLocked fetches a full line from the bank's data array into
+// dst (length LineBytes; typically the bank's lineBuf scratch).
+func (c *Cache) readLineLocked(b *bank, ls, way int, dst []byte) error {
 	row := c.dataRow(ls, way)
 	set := b.globalSet(c.setsPerBank, ls)
 	for w := 0; w < c.words; w++ {
-		word, st := b.data.Read(row, w)
+		v, st := b.data.ReadUint64(row, w)
 		if err := c.noteSt(st, ArrayData, set, way); err != nil {
-			return nil, err
+			return err
 		}
-		v := word.Uint64()
-		for i := 0; i < 8; i++ {
-			out[w*8+i] = byte(v >> (8 * uint(i)))
-		}
+		binary.LittleEndian.PutUint64(dst[w*8:], v)
 	}
-	return out, nil
+	return nil
 }
 
 // writeLineLocked stores a full line into the bank's data array.
@@ -484,11 +490,7 @@ func (c *Cache) writeLineLocked(b *bank, ls, way int, data []byte) error {
 	row := c.dataRow(ls, way)
 	set := b.globalSet(c.setsPerBank, ls)
 	for w := 0; w < c.words; w++ {
-		var v uint64
-		for i := 0; i < 8; i++ {
-			v |= uint64(data[w*8+i]) << (8 * uint(i))
-		}
-		st := b.data.Write(row, w, bitvec.FromUint64(v, 64))
+		st := b.data.WriteUint64(row, w, binary.LittleEndian.Uint64(data[w*8:]))
 		if err := c.noteSt(st, ArrayData, set, way); err != nil {
 			return err
 		}
@@ -510,11 +512,10 @@ func (c *Cache) fillLocked(b *bank, ls int, line uint64) (way int, ok bool, err 
 	if old&tagValidBit != 0 && old&tagDirtyBit != 0 {
 		set := b.globalSet(c.setsPerBank, ls)
 		oldLine := old>>tagShift<<bits.TrailingZeros64(c.setMask+1) | uint64(set)
-		victim, err := c.readLineLocked(b, ls, way)
-		if err != nil {
+		if err := c.readLineLocked(b, ls, way, b.lineBuf); err != nil {
 			return 0, true, err
 		}
-		c.backing.WriteLine(oldLine<<c.lineShift, victim)
+		c.backing.WriteLine(oldLine<<c.lineShift, b.lineBuf)
 		c.writebacks.Add(1)
 	}
 	if err := c.writeLineLocked(b, ls, way, c.backing.ReadLine(line<<c.lineShift)); err != nil {
@@ -533,49 +534,48 @@ func (b *bank) touch(ls, way, ways int) {
 
 // --- fast path ---------------------------------------------------------
 
-// fastRead serves a clean hit under the bank's shared lock: every tag
-// word scanned and every data word touched must check clean via
-// TryRead; anything else (miss, dirty word, disabled set) falls back to
-// the exclusive slow path. Only the words overlapping the request are
-// read — the sub-array read-out of a real bank — so a clean hit costs
-// O(request) and many readers proceed in parallel.
-func (c *Cache) fastRead(b *bank, ls int, line, addr uint64, n int) []byte {
+// fastReadInto serves a clean hit under the bank's shared lock: every
+// tag word scanned and every data word touched must check clean via
+// TryReadUint64; anything else (miss, dirty word, disabled set) falls
+// back to the exclusive slow path (returns false). Only the words
+// overlapping the request are read — the sub-array read-out of a real
+// bank — so a clean hit costs O(request), allocates nothing, and many
+// readers proceed in parallel.
+func (c *Cache) fastReadInto(b *bank, ls int, line, addr uint64, dst []byte) bool {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	tag := c.tagOf(line)
+	n := len(dst)
 	for way := 0; way < c.cfg.Ways; way++ {
 		if b.disabled[ls*c.cfg.Ways+way] {
 			continue
 		}
-		tw, ok := b.tags.TryRead(ls, way)
+		t, ok := b.tags.TryReadUint64(ls, way)
 		if !ok {
-			return nil // tag word needs repair: escalate
+			return false // tag word needs repair: escalate
 		}
-		t := tw.Uint64()
 		if t&tagValidBit == 0 || t>>tagShift != tag {
 			continue
 		}
 		off := int(addr) & (c.cfg.LineBytes - 1)
-		out := make([]byte, n)
 		row := c.dataRow(ls, way)
 		for w := off / 8; w <= (off+n-1)/8; w++ {
-			word, ok := b.data.TryRead(row, w)
+			v, ok := b.data.TryReadUint64(row, w)
 			if !ok {
-				return nil // data word needs repair: escalate
+				return false // data word needs repair: escalate
 			}
-			v := word.Uint64()
 			for i := 0; i < 8; i++ {
 				pos := w*8 + i
 				if pos >= off && pos < off+n {
-					out[pos-off] = byte(v >> (8 * uint(i)))
+					dst[pos-off] = byte(v >> (8 * uint(i)))
 				}
 			}
 		}
 		b.hits.Add(1)
 		b.touch(ls, way, c.cfg.Ways)
-		return out
+		return true
 	}
-	return nil // miss: the fill needs the exclusive path
+	return false // miss: the fill needs the exclusive path
 }
 
 // --- public access API --------------------------------------------------
@@ -588,19 +588,35 @@ func (c *Cache) Read(addr uint64, n int) ([]byte, error) {
 	if err := c.checkSpan(addr, n); err != nil {
 		return nil, err
 	}
+	out := make([]byte, n)
+	if err := c.ReadInto(addr, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto fills dst with len(dst) bytes at addr (must not cross a line
+// boundary) — the allocation-free variant of Read: a clean hit performs
+// zero heap allocations. Safe for concurrent use.
+func (c *Cache) ReadInto(addr uint64, dst []byte) error {
+	n := len(dst)
+	if err := c.checkSpan(addr, n); err != nil {
+		return err
+	}
 	line := c.lineAddr(addr)
 	set := c.setOf(line)
 	b, ls := c.bankOf(set)
 	b.accesses.Add(1)
-	if out := c.fastRead(b, ls, line, addr, n); out != nil {
-		return out, nil
+	if c.fastReadInto(b, ls, line, addr, dst) {
+		return nil
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	way, err := c.lookupLocked(b, ls, c.tagOf(line))
 	if err != nil {
-		return nil, err
+		return err
 	}
+	off := int(addr) & (c.cfg.LineBytes - 1)
 	if way >= 0 {
 		b.hits.Add(1)
 	} else {
@@ -608,28 +624,23 @@ func (c *Cache) Read(addr uint64, n int) ([]byte, error) {
 		var ok bool
 		way, ok, err = c.fillLocked(b, ls, line)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
 			// Every way decommissioned: serve straight from backing —
 			// the cache got smaller, not broken.
 			c.bypassed.Add(1)
 			buf := c.backing.ReadLine(line << c.lineShift)
-			off := int(addr) & (c.cfg.LineBytes - 1)
-			out := make([]byte, n)
-			copy(out, buf[off:off+n])
-			return out, nil
+			copy(dst, buf[off:off+n])
+			return nil
 		}
 	}
 	b.touch(ls, way, c.cfg.Ways)
-	lineBytes, err := c.readLineLocked(b, ls, way)
-	if err != nil {
-		return nil, err
+	if err := c.readLineLocked(b, ls, way, b.lineBuf); err != nil {
+		return err
 	}
-	off := int(addr) & (c.cfg.LineBytes - 1)
-	out := make([]byte, n)
-	copy(out, lineBytes[off:off+n])
-	return out, nil
+	copy(dst, b.lineBuf[off:off+n])
+	return nil
 }
 
 // Write stores bytes at addr (must not cross a line boundary),
@@ -669,13 +680,12 @@ func (c *Cache) Write(addr uint64, data []byte) error {
 		}
 	}
 	b.touch(ls, way, c.cfg.Ways)
-	lineBytes, err := c.readLineLocked(b, ls, way)
-	if err != nil {
+	if err := c.readLineLocked(b, ls, way, b.lineBuf); err != nil {
 		return err
 	}
 	off := int(addr) & (c.cfg.LineBytes - 1)
-	copy(lineBytes[off:], data)
-	if err := c.writeLineLocked(b, ls, way, lineBytes); err != nil {
+	copy(b.lineBuf[off:], data)
+	if err := c.writeLineLocked(b, ls, way, b.lineBuf); err != nil {
 		return err
 	}
 	return c.writeTagLocked(b, ls, way, tagValidBit|tagDirtyBit|c.tagOf(line)<<tagShift)
@@ -707,11 +717,10 @@ func (c *Cache) flushBank(b *bank) error {
 			}
 			if t&tagValidBit != 0 && t&tagDirtyBit != 0 {
 				line := t>>tagShift<<bits.TrailingZeros64(c.setMask+1) | uint64(set)
-				data, err := c.readLineLocked(b, ls, way)
-				if err != nil {
+				if err := c.readLineLocked(b, ls, way, b.lineBuf); err != nil {
 					return err
 				}
-				c.backing.WriteLine(line<<c.lineShift, data)
+				c.backing.WriteLine(line<<c.lineShift, b.lineBuf)
 				if err := c.writeTagLocked(b, ls, way, t&^tagDirtyBit); err != nil {
 					return err
 				}
@@ -741,13 +750,12 @@ func (c *Cache) Repair(addr uint64) {
 
 // wipeSetLocked force-clears every way of the local set.
 func (c *Cache) wipeSetLocked(b *bank, ls int) {
-	zero := bitvec.New(64)
 	for way := 0; way < c.cfg.Ways; way++ {
 		row := c.dataRow(ls, way)
 		for w := 0; w < c.words; w++ {
-			b.data.ForceWrite(row, w, zero)
+			b.data.ForceWriteUint64(row, w, 0)
 		}
-		b.tags.ForceWrite(ls, way, zero)
+		b.tags.ForceWriteUint64(ls, way, 0)
 	}
 }
 
@@ -772,19 +780,17 @@ func (c *Cache) Decommission(set, way int) (lostDirty bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	idx := ls*c.cfg.Ways + way
-	if tw, ok := b.tags.TryRead(ls, way); ok {
-		t := tw.Uint64()
+	if t, ok := b.tags.TryReadUint64(ls, way); ok {
 		lostDirty = t&tagValidBit != 0 && t&tagDirtyBit != 0
 	} else {
 		// Tag word unreadable: assume the worst.
 		lostDirty = true
 	}
-	zero := bitvec.New(64)
 	row := c.dataRow(ls, way)
 	for w := 0; w < c.words; w++ {
-		b.data.ForceWrite(row, w, zero)
+		b.data.ForceWriteUint64(row, w, 0)
 	}
-	b.tags.ForceWrite(ls, way, zero)
+	b.tags.ForceWriteUint64(ls, way, 0)
 	if !b.disabled[idx] {
 		b.disabled[idx] = true
 		c.disabledWays.Add(1)

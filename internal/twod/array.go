@@ -2,6 +2,8 @@ package twod
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"twodcache/internal/bitvec"
@@ -96,12 +98,38 @@ func (s ReadStatus) String() string {
 // data bits, horizontal check bits, and vertical parity rows — is
 // explicit, so fault injection can flip any physical bit and recovery
 // must cope exactly as hardware would.
+//
+// Concurrency contract: Write, Read, Recover and the other mutating
+// entry points require external exclusive access (the pcache banks hold
+// an exclusive lock around them); they reuse array-owned scratch
+// buffers and perform no per-access heap allocation. TryRead and
+// TryReadUint64 are the shared-lock fast path: many may run
+// concurrently (against each other, never against a writer) and they
+// draw scratch from an internal pool instead.
 type Array struct {
-	cfg    Config
-	layout Layout
-	data   *bitvec.Matrix // Rows x RowBits: interleaved codewords
-	vpar   *bitvec.Matrix // VerticalGroups x RowBits: parity rows
-	stats  Stats
+	cfg     cfgCache
+	layout  Layout
+	data    *bitvec.Matrix // Rows x RowBits: interleaved codewords
+	vpar    *bitvec.Matrix // VerticalGroups x RowBits: parity rows
+	stats   Stats
+	cwWords int // backing words per codeword scratch
+
+	// scr holds the exclusive-path scratch: one codeword buffer for the
+	// access in flight, one for the old word of the read-before-write
+	// delta, and one DataBits-wide staging buffer for encodes.
+	scr struct {
+		cw   []uint64
+		old  []uint64
+		data []uint64
+	}
+	// tryScratch pools codeword buffers for the concurrent TryRead path.
+	tryScratch sync.Pool
+}
+
+// cfgCache embeds Config plus derived values the hot loops need.
+type cfgCache struct {
+	Config
+	dataWords int
 }
 
 // NewArray builds a zero-initialised protected array (vertical parity
@@ -118,12 +146,21 @@ func NewArray(cfg Config) (*Array, error) {
 	if err := layout.Validate(); err != nil {
 		return nil, err
 	}
-	return &Array{
-		cfg:    cfg,
-		layout: layout,
-		data:   bitvec.NewMatrix(cfg.Rows, layout.RowBits()),
-		vpar:   bitvec.NewMatrix(cfg.VerticalGroups, layout.RowBits()),
-	}, nil
+	a := &Array{
+		cfg:     cfgCache{Config: cfg, dataWords: bitvec.WordsFor(cfg.Horizontal.DataBits())},
+		layout:  layout,
+		data:    bitvec.NewMatrix(cfg.Rows, layout.RowBits()),
+		vpar:    bitvec.NewMatrix(cfg.VerticalGroups, layout.RowBits()),
+		cwWords: bitvec.WordsFor(layout.CodewordBits),
+	}
+	a.scr.cw = make([]uint64, a.cwWords)
+	a.scr.old = make([]uint64, a.cwWords)
+	a.scr.data = make([]uint64, a.cfg.dataWords)
+	a.tryScratch.New = func() any {
+		buf := make([]uint64, a.cwWords)
+		return &buf
+	}
+	return a, nil
 }
 
 // MustArray is NewArray panicking on error.
@@ -136,7 +173,7 @@ func MustArray(cfg Config) *Array {
 }
 
 // Config returns the array's configuration.
-func (a *Array) Config() Config { return a.cfg }
+func (a *Array) Config() Config { return a.cfg.Config }
 
 // Layout returns the physical geometry.
 func (a *Array) Layout() Layout { return a.layout }
@@ -174,38 +211,109 @@ func (a *Array) DataBits() int { return a.cfg.Horizontal.DataBits() }
 // group returns the vertical parity group of data row r.
 func (a *Array) group(r int) int { return r % a.cfg.VerticalGroups }
 
-// extract reads word w's codeword out of physical row r.
-func (a *Array) extract(r, w int) *bitvec.Vector {
-	cw := bitvec.New(a.layout.CodewordBits)
-	row := a.data.Row(r)
-	for b := 0; b < a.layout.CodewordBits; b++ {
-		if row.Bit(a.layout.PhysColumn(w, b)) {
-			cw.Set(b, true)
+// --- word-kernel primitives --------------------------------------------
+//
+// The per-access data path works entirely on []uint64 scratch: gather
+// the interleaved codeword bits into a scratch buffer, run the
+// horizontal code's word-parallel kernel on it, and scatter only the
+// changed bits back. No step allocates.
+
+// extractInto gathers word w's codeword out of physical row r into dst
+// (length >= cwWords; cleared first).
+func (a *Array) extractInto(dst []uint64, r, w int) {
+	row := a.data.RowWords(r)
+	d := a.cfg.WordsPerRow
+	nb := a.layout.CodewordBits
+	if d == 1 {
+		// Contiguous layout: the codeword is the row prefix.
+		copy(dst[:a.cwWords], row)
+		if rem := nb & 63; rem != 0 {
+			dst[a.cwWords-1] &= 1<<uint(rem) - 1
+		}
+		return
+	}
+	for i := 0; i < a.cwWords; i++ {
+		dst[i] = 0
+	}
+	col := w
+	for b := 0; b < nb; b++ {
+		dst[b>>6] |= (row[col>>6] >> uint(col&63) & 1) << uint(b&63)
+		col += d
+	}
+}
+
+// syndromeAt returns the horizontal syndrome of word (r, w) using the
+// exclusive-path scratch.
+func (a *Array) syndromeAt(r, w int) uint64 {
+	a.extractInto(a.scr.old, r, w)
+	return a.cfg.Horizontal.SyndromeWords(bitvec.MakeCodeword(a.scr.old, a.layout.CodewordBits))
+}
+
+// scatterXor flips, in physical row r (and optionally the row's
+// vertical parity), every cell whose codeword bit is set in delta.
+func (a *Array) scatterXor(r, w int, delta []uint64, withParity bool) {
+	row := a.data.RowWords(r)
+	var par []uint64
+	if withParity {
+		par = a.vpar.RowWords(a.group(r))
+	}
+	d := a.cfg.WordsPerRow
+	for wi, x := range delta {
+		base := wi << 6
+		for x != 0 {
+			b := base + bits.TrailingZeros64(x)
+			x &= x - 1
+			col := b*d + w
+			mask := uint64(1) << uint(col&63)
+			row[col>>6] ^= mask
+			if withParity {
+				par[col>>6] ^= mask
+			}
 		}
 	}
+}
+
+// storeWords writes codeword cw into word slot (r, w), updating the
+// vertical parity for every bit that changes (the delta-XOR of
+// Fig. 4(a) step 2). Exclusive path: uses a.scr.old.
+func (a *Array) storeWords(r, w int, cw []uint64) {
+	a.extractInto(a.scr.old, r, w)
+	for i := range a.scr.old {
+		a.scr.old[i] ^= cw[i] // now the delta
+	}
+	a.scatterXor(r, w, a.scr.old, true)
+}
+
+// storeRawWords writes codeword bits without a parity delta — used only
+// to restore corrupted cells to their intended value. Exclusive path:
+// uses a.scr.old.
+func (a *Array) storeRawWords(r, w int, cw []uint64) {
+	a.extractInto(a.scr.old, r, w)
+	for i := range a.scr.old {
+		a.scr.old[i] ^= cw[i]
+	}
+	a.scatterXor(r, w, a.scr.old, false)
+}
+
+// encodeDataInto encodes the staged data scratch into dst.
+func (a *Array) encodeDataInto(dst []uint64) {
+	a.cfg.Horizontal.EncodeInto(
+		bitvec.MakeCodeword(dst, a.layout.CodewordBits),
+		bitvec.MakeCodeword(a.scr.data, a.DataBits()))
+}
+
+// extract reads word w's codeword out of physical row r as a fresh
+// Vector (legacy/cold-path convenience).
+func (a *Array) extract(r, w int) *bitvec.Vector {
+	cw := bitvec.New(a.layout.CodewordBits)
+	a.extractInto(cw.Words(), r, w)
 	return cw
 }
 
-// store writes codeword cw into word slot (r, w), updating the vertical
-// parity for every bit that changes (the delta-XOR of Fig. 4(a) step 2).
-func (a *Array) store(r, w int, cw *bitvec.Vector) {
-	row := a.data.Row(r)
-	par := a.vpar.Row(a.group(r))
-	for b := 0; b < a.layout.CodewordBits; b++ {
-		col := a.layout.PhysColumn(w, b)
-		old := row.Bit(col)
-		nv := cw.Bit(b)
-		if old != nv {
-			row.Set(col, nv)
-			par.Flip(col)
-		}
-	}
-}
-
 // checkWord returns the horizontal syndrome of word (r, w).
-func (a *Array) checkWord(r, w int) uint64 {
-	return a.cfg.Horizontal.SyndromeBits(a.extract(r, w))
-}
+func (a *Array) checkWord(r, w int) uint64 { return a.syndromeAt(r, w) }
+
+// --- access API --------------------------------------------------------
 
 // Write stores data (DataBits wide) into word w of row r. Every write
 // is converted to a read-before-write: the old codeword is read both to
@@ -216,10 +324,30 @@ func (a *Array) Write(r, w int, data *bitvec.Vector) ReadStatus {
 	if data.Len() != a.DataBits() {
 		panic(fmt.Sprintf("twod: Write data width %d != %d", data.Len(), a.DataBits()))
 	}
+	copy(a.scr.data, data.Words())
+	return a.writeStaged(r, w)
+}
+
+// WriteUint64 is the allocation-free Write fast path for arrays with
+// DataBits <= 64 (the cache word size).
+func (a *Array) WriteUint64(r, w int, v uint64) ReadStatus {
+	k := a.DataBits()
+	if k > 64 {
+		panic(fmt.Sprintf("twod: WriteUint64 on %d-bit words", k))
+	}
+	if k < 64 {
+		v &= 1<<uint(k) - 1
+	}
+	a.scr.data[0] = v
+	return a.writeStaged(r, w)
+}
+
+// writeStaged completes a write of the staged a.scr.data word.
+func (a *Array) writeStaged(r, w int) ReadStatus {
 	atomic.AddUint64(&a.stats.Writes, 1)
 	atomic.AddUint64(&a.stats.ExtraReads, 1) // the read-before-write
 	status := ReadClean
-	if a.checkWord(r, w) != 0 {
+	if a.syndromeAt(r, w) != 0 {
 		// Latent error under the write target: repair before computing
 		// the delta, otherwise the corruption would poison the parity.
 		if !a.repairWord(r, w) {
@@ -232,13 +360,15 @@ func (a *Array) Write(r, w int, data *bitvec.Vector) ReadStatus {
 			// Overwrite raw and rebuild parity from the array as it now
 			// stands: rows that remain faulty keep failing their
 			// horizontal check and surface as detected-uncorrectable.
-			a.storeRaw(r, w, a.cfg.Horizontal.Encode(data))
+			a.encodeDataInto(a.scr.cw)
+			a.storeRawWords(r, w, a.scr.cw)
 			a.rebuildParity()
 			return ReadUncorrectable
 		}
 		status = ReadRecovered
 	}
-	a.store(r, w, a.cfg.Horizontal.Encode(data))
+	a.encodeDataInto(a.scr.cw)
+	a.storeWords(r, w, a.scr.cw)
 	return status
 }
 
@@ -246,26 +376,52 @@ func (a *Array) Write(r, w int, data *bitvec.Vector) ReadStatus {
 // escalating to in-line SECDED correction or full 2D recovery as
 // needed.
 func (a *Array) Read(r, w int) (*bitvec.Vector, ReadStatus) {
+	st := a.readIntoScratch(r, w)
+	out := bitvec.New(a.DataBits())
+	copy(out.Words(), a.scr.cw[:a.cfg.dataWords])
+	out.AsCodeword().MaskTail()
+	return out, st
+}
+
+// ReadUint64 is the allocation-free Read fast path for arrays with
+// DataBits <= 64: it returns the data word directly.
+func (a *Array) ReadUint64(r, w int) (uint64, ReadStatus) {
+	k := a.DataBits()
+	if k > 64 {
+		panic(fmt.Sprintf("twod: ReadUint64 on %d-bit words", k))
+	}
+	st := a.readIntoScratch(r, w)
+	v := a.scr.cw[0]
+	if k < 64 {
+		v &= 1<<uint(k) - 1
+	}
+	return v, st
+}
+
+// readIntoScratch performs the Read escalation, leaving the (possibly
+// repaired) codeword in a.scr.cw. Exclusive path.
+func (a *Array) readIntoScratch(r, w int) ReadStatus {
 	atomic.AddUint64(&a.stats.Reads, 1)
-	cw := a.extract(r, w)
-	res, _ := a.cfg.Horizontal.Decode(cw)
+	a.extractInto(a.scr.cw, r, w)
+	cw := bitvec.MakeCodeword(a.scr.cw, a.layout.CodewordBits)
+	res, _ := a.cfg.Horizontal.DecodeInPlace(cw)
 	switch res {
 	case ecc.Clean:
-		return a.cfg.Horizontal.Data(cw), ReadClean
+		return ReadClean
 	case ecc.Corrected:
 		// SECDED fixed a single-bit error in the copy; write the repair
 		// back to the cells. The vertical parity reflects intended
 		// contents, so restoring a corrupted cell must NOT touch parity.
 		atomic.AddUint64(&a.stats.InlineCorrections, 1)
-		a.storeRaw(r, w, cw)
-		return a.cfg.Horizontal.Data(cw), ReadCorrectedInline
+		a.storeRawWords(r, w, a.scr.cw)
+		return ReadCorrectedInline
 	default:
 		if !a.repairWord(r, w) {
-			cw = a.extract(r, w)
-			return a.cfg.Horizontal.Data(cw), ReadUncorrectable
+			a.extractInto(a.scr.cw, r, w)
+			return ReadUncorrectable
 		}
-		cw = a.extract(r, w)
-		return a.cfg.Horizontal.Data(cw), ReadRecovered
+		a.extractInto(a.scr.cw, r, w)
+		return ReadRecovered
 	}
 }
 
@@ -273,16 +429,46 @@ func (a *Array) Read(r, w int) (*bitvec.Vector, ReadStatus) {
 // WITHOUT mutating the array: no inline correction, no recovery. The
 // second result is false when the word needs repair, in which case the
 // caller must escalate to Read (or Recover) under exclusive access.
-// Because the only side effect is an atomic counter, TryRead is safe
-// for many concurrent callers as long as no writer runs — the
-// shared-lock fast path of a concurrent cache.
+// Because the only side effects are an atomic counter and pooled
+// scratch, TryRead is safe for many concurrent callers as long as no
+// writer runs — the shared-lock fast path of a concurrent cache.
 func (a *Array) TryRead(r, w int) (*bitvec.Vector, bool) {
 	atomic.AddUint64(&a.stats.Reads, 1)
-	cw := a.extract(r, w)
-	if a.cfg.Horizontal.SyndromeBits(cw) != 0 {
+	buf := a.tryScratch.Get().(*[]uint64)
+	a.extractInto(*buf, r, w)
+	syn := a.cfg.Horizontal.SyndromeWords(bitvec.MakeCodeword(*buf, a.layout.CodewordBits))
+	if syn != 0 {
+		a.tryScratch.Put(buf)
 		return nil, false
 	}
-	return a.cfg.Horizontal.Data(cw), true
+	out := bitvec.New(a.DataBits())
+	copy(out.Words(), (*buf)[:a.cfg.dataWords])
+	out.AsCodeword().MaskTail()
+	a.tryScratch.Put(buf)
+	return out, true
+}
+
+// TryReadUint64 is the allocation-free TryRead fast path for arrays
+// with DataBits <= 64. Safe for concurrent callers (no writer running).
+func (a *Array) TryReadUint64(r, w int) (uint64, bool) {
+	k := a.DataBits()
+	if k > 64 {
+		panic(fmt.Sprintf("twod: TryReadUint64 on %d-bit words", k))
+	}
+	atomic.AddUint64(&a.stats.Reads, 1)
+	buf := a.tryScratch.Get().(*[]uint64)
+	s := *buf
+	a.extractInto(s, r, w)
+	syn := a.cfg.Horizontal.SyndromeWords(bitvec.MakeCodeword(s, a.layout.CodewordBits))
+	v := s[0]
+	a.tryScratch.Put(buf)
+	if syn != 0 {
+		return 0, false
+	}
+	if k < 64 {
+		v &= 1<<uint(k) - 1
+	}
+	return v, true
 }
 
 // CorrectWord attempts a targeted word-level repair of (r, w) using the
@@ -293,8 +479,9 @@ func (a *Array) TryRead(r, w int) (*bitvec.Vector, bool) {
 // the cheap middle rung of a recovery escalation ladder: between a bare
 // retry and the full Fig. 4(b) recovery process.
 func (a *Array) CorrectWord(r, w int) bool {
-	cw := a.extract(r, w)
-	res, _ := a.cfg.Horizontal.Decode(cw)
+	a.extractInto(a.scr.cw, r, w)
+	cw := bitvec.MakeCodeword(a.scr.cw, a.layout.CodewordBits)
+	res, _ := a.cfg.Horizontal.DecodeInPlace(cw)
 	switch res {
 	case ecc.Clean:
 		return true
@@ -302,7 +489,7 @@ func (a *Array) CorrectWord(r, w int) bool {
 		// Restoring corrupted cells to their intended value must not
 		// touch the vertical parity (it already reflects intent).
 		atomic.AddUint64(&a.stats.InlineCorrections, 1)
-		a.storeRaw(r, w, cw)
+		a.storeRawWords(r, w, a.scr.cw)
 		return true
 	default:
 		return false
@@ -317,7 +504,7 @@ func (a *Array) FaultyWordList() [][2]int {
 	var out [][2]int
 	for r := 0; r < a.cfg.Rows; r++ {
 		for w := 0; w < a.cfg.WordsPerRow; w++ {
-			if a.checkWord(r, w) != 0 {
+			if a.syndromeAt(r, w) != 0 {
 				out = append(out, [2]int{r, w})
 			}
 		}
@@ -325,20 +512,11 @@ func (a *Array) FaultyWordList() [][2]int {
 	return out
 }
 
-// storeRaw writes codeword bits without a parity delta — used only to
-// restore corrupted cells to their intended value.
-func (a *Array) storeRaw(r, w int, cw *bitvec.Vector) {
-	row := a.data.Row(r)
-	for b := 0; b < a.layout.CodewordBits; b++ {
-		row.Set(a.layout.PhysColumn(w, b), cw.Bit(b))
-	}
-}
-
 // repairWord runs 2D recovery and reports whether word (r, w) now
 // checks clean.
 func (a *Array) repairWord(r, w int) bool {
 	a.Recover()
-	return a.checkWord(r, w) == 0
+	return a.syndromeAt(r, w) == 0
 }
 
 // --- fault-injection surface (used by internal/fault) -----------------
@@ -376,6 +554,25 @@ func (a *Array) ForceWrite(r, w int, data *bitvec.Vector) {
 		panic(fmt.Sprintf("twod: ForceWrite data width %d != %d", data.Len(), a.DataBits()))
 	}
 	atomic.AddUint64(&a.stats.Writes, 1)
-	a.storeRaw(r, w, a.cfg.Horizontal.Encode(data))
+	copy(a.scr.data, data.Words())
+	a.encodeDataInto(a.scr.cw)
+	a.storeRawWords(r, w, a.scr.cw)
+	a.rebuildParity()
+}
+
+// ForceWriteUint64 is ForceWrite for DataBits <= 64 without allocating
+// (the parity rebuild still scans the array).
+func (a *Array) ForceWriteUint64(r, w int, v uint64) {
+	k := a.DataBits()
+	if k > 64 {
+		panic(fmt.Sprintf("twod: ForceWriteUint64 on %d-bit words", k))
+	}
+	atomic.AddUint64(&a.stats.Writes, 1)
+	if k < 64 {
+		v &= 1<<uint(k) - 1
+	}
+	a.scr.data[0] = v
+	a.encodeDataInto(a.scr.cw)
+	a.storeRawWords(r, w, a.scr.cw)
 	a.rebuildParity()
 }

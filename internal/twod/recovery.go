@@ -194,21 +194,32 @@ func (a *Array) scan(rep *RecoveryReport) (map[[2]int]uint64, map[int]bool) {
 // confined to an already-faulty word is indistinguishable from a real
 // error pattern and remains beyond coverage, as in the paper.
 func (a *Array) rowDeltaPlausible(r int, m *bitvec.Vector) bool {
+	nb := a.layout.CodewordBits
+	d := a.cfg.WordsPerRow
+	mw := m.Words()
 	for w := 0; w < a.cfg.WordsPerRow; w++ {
-		slice := bitvec.New(a.layout.CodewordBits)
-		for b := 0; b < a.layout.CodewordBits; b++ {
-			if m.Bit(a.layout.PhysColumn(w, b)) {
-				slice.Set(b, true)
-			}
+		// Gather m's interleaved slice for word slot w into scratch.
+		s := a.scr.cw
+		for i := range s {
+			s[i] = 0
 		}
-		syn := a.checkWord(r, w)
+		zero := true
+		col := w
+		for b := 0; b < nb; b++ {
+			if mw[col>>6]>>uint(col&63)&1 != 0 {
+				zero = false
+				s[b>>6] |= 1 << uint(b&63)
+			}
+			col += d
+		}
+		syn := a.syndromeAt(r, w)
 		if syn == 0 {
-			if !slice.IsZero() {
+			if !zero {
 				return false
 			}
 			continue
 		}
-		if a.cfg.Horizontal.SyndromeBits(slice) != syn {
+		if a.cfg.Horizontal.SyndromeWords(bitvec.MakeCodeword(s, nb)) != syn {
 			return false
 		}
 	}
@@ -281,9 +292,10 @@ func (a *Array) recoverColumns(mismatch []*bitvec.Vector, faultyWords map[[2]int
 		// invisible to the vertical parity (even flip counts in every
 		// group), which a correcting code localises per word.
 		if canInline {
-			cw := a.extract(r, w)
-			if res, n := h.Decode(cw); res == ecc.Corrected {
-				a.storeRaw(r, w, cw)
+			a.extractInto(a.scr.cw, r, w)
+			cw := bitvec.MakeCodeword(a.scr.cw, a.layout.CodewordBits)
+			if res, n := h.DecodeInPlace(cw); res == ecc.Corrected {
+				a.storeRawWords(r, w, a.scr.cw)
 				rep.InlineFixes++
 				rep.BitsFlipped += n
 				continue

@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench.sh — the data-path benchmark suite, benchstat-compatible.
+#
+#   ./scripts/bench.sh                  # headline data-path benches, 5 runs
+#   ./scripts/bench.sh -kernels         # per-code kernel micro-benches only
+#   ./scripts/bench.sh -all             # every benchmark (incl. figure regen)
+#   COUNT=10 ./scripts/bench.sh         # override run count
+#
+# Always passes -benchmem so allocation regressions show up next to the
+# timing. Pipe two runs through benchstat to compare; the committed
+# baseline lives in results/BENCH_kernels.md.
+set -eu
+cd "$(dirname "$0")/.."
+
+count=${COUNT:-5}
+pattern='BenchmarkArrayWrite$|BenchmarkArrayReadClean$|BenchmarkEDC8Syndrome$|BenchmarkSECDEDDecode$|BenchmarkPCacheParallelRead$|BenchmarkPCacheParallelReadInto$|BenchmarkKernel'
+case "${1:-}" in
+-kernels)
+    pattern='BenchmarkKernel'
+    ;;
+-all)
+    pattern='.'
+    ;;
+esac
+
+exec go test -run '^$' -bench "$pattern" -benchmem -count "$count" .

@@ -1,15 +1,23 @@
 #!/bin/sh
 # check.sh — the tier-1 verify loop, `make check`-equivalent.
 #
-#   ./scripts/check.sh          # vet + build + test + race on concurrency-hardened packages
+#   ./scripts/check.sh          # fmt + vet + build + test + race on hardened packages
 #   ./scripts/check.sh -full    # additionally race-test every package
 #
 # The race pass covers the packages with concurrent hot paths (banked
-# pcache locking, the resilience engine/scrubber, atomic twod stats);
-# -full extends it to the whole module.
+# pcache locking, the resilience engine/scrubber, atomic twod stats) and
+# the kernel layer they are built on (bitvec word views, ecc scratch
+# pools); -full extends it to the whole module.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$fmt_out" >&2
+    exit 1
+fi
 echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
@@ -20,7 +28,7 @@ if [ "${1:-}" = "-full" ]; then
     echo "== go test -race ./... (full)"
     go test -race ./...
 else
-    echo "== go test -race (concurrency-hardened packages)"
-    go test -race ./internal/twod/ ./internal/pcache/ ./internal/resilience/
+    echo "== go test -race (concurrency-hardened packages + kernel layer)"
+    go test -race ./internal/bitvec/ ./internal/ecc/ ./internal/twod/ ./internal/pcache/ ./internal/resilience/
 fi
 echo "check: OK"
