@@ -15,6 +15,32 @@ import (
 	"twodcache"
 )
 
+// dumpMetrics exports the run's counters as one coherent Prometheus
+// text snapshot on stdout, so scripted sweeps can scrape cachesim runs
+// with the same names the online engine serves.
+func dumpMetrics(res twodcache.SimResult) error {
+	reg := twodcache.NewMetricsRegistry()
+	cnt := func(name, help string, v uint64) {
+		reg.CounterFunc(name, help, func() uint64 { return v })
+	}
+	cnt("cachesim_cycles_total", "measured cycles (after warm-up)", res.Cycles)
+	cnt("cachesim_committed_total", "instructions committed across all cores", res.Committed)
+	level := func(prefix string, a twodcache.SimAccessStats) {
+		cnt(prefix+"_read_data_total", "demand data reads", a.ReadData)
+		cnt(prefix+"_read_inst_total", "instruction reads", a.ReadInst)
+		cnt(prefix+"_write_total", "stores or writebacks", a.Write)
+		cnt(prefix+"_fill_evict_total", "line fills and evictions", a.FillEvict)
+		cnt(prefix+"_extra_read_total", "2D read-before-write accesses", a.ExtraRead)
+	}
+	level("cachesim_l1", res.L1)
+	level("cachesim_l2", res.L2)
+	cnt("cachesim_l1_to_l1_total", "dirty-data transfers between L1s", res.L1ToL1)
+	cnt("cachesim_sq_full_stalls_total", "store-queue-full stalls", res.SQFullStalls)
+	cnt("cachesim_port_rejects_total", "port-contention rejects", res.PortRejects)
+	cnt("cachesim_recoveries_total", "injected error-recovery events", res.Recoveries)
+	return reg.Snapshot().WritePrometheus(os.Stdout)
+}
+
 func main() {
 	system := flag.String("system", "fat", "CMP baseline: fat or lean")
 	wlName := flag.String("workload", "OLTP", "workload: OLTP, DSS, Web, Moldyn, Ocean, Sparse")
@@ -24,6 +50,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 100000, "warmup cycles (discarded)")
 	measure := flag.Uint64("measure", 50000, "measured cycles")
 	seed := flag.Int64("seed", 1, "trace seed")
+	metrics := flag.Bool("metrics", false, "append the run's counters in Prometheus text format")
 	flag.Parse()
 
 	var cfg twodcache.SystemConfig
@@ -66,5 +93,12 @@ func main() {
 		}
 		fmt.Printf("IPC loss vs baseline: %.2f%% (±%.2f, %d matched pairs, baseline IPC %.3f)\n",
 			rep.MeanLossPct, rep.CI95Pct, rep.Samples, rep.BaselineIPC)
+	}
+
+	if *metrics {
+		if err := dumpMetrics(res); err != nil {
+			fmt.Fprintf(os.Stderr, "cachesim: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -22,9 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"twodcache"
@@ -46,6 +49,8 @@ func main() {
 		scrubInterval = flag.Duration("scrub-interval", 2*time.Millisecond, "pause between scrub sweeps")
 		highRate      = flag.Float64("scrub-high-rate", 200_000, "accesses/sec above which the scrubber backs off")
 		seed          = flag.Int64("seed", 1, "random seed")
+		statsEvery    = flag.Duration("stats-interval", 500*time.Millisecond, "period of the live stats line (0 disables)")
+		httpAddr      = flag.String("http", "", "serve expvar (/debug/vars) and Prometheus text (/metrics) on this address")
 	)
 	flag.Parse()
 	if *clients < 1 {
@@ -54,10 +59,11 @@ func main() {
 	}
 
 	backing := twodcache.NewMemoryBacking(*lineBytes)
+	reg := twodcache.NewMetricsRegistry()
 	eng, err := twodcache.NewResilientCache(twodcache.ProtectedCacheConfig{
 		Sets: *sets, Ways: *ways, LineBytes: *lineBytes,
 		SECDEDHorizontal: *secded, Banks: *banks,
-	}, backing, twodcache.ResilienceConfig{SpareRows: *spares})
+	}, backing, twodcache.ResilienceConfig{SpareRows: *spares, Metrics: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		os.Exit(2)
@@ -68,8 +74,27 @@ func main() {
 		HighRate: *highRate,
 	})
 
+	// Serve the registry over expvar (/debug/vars) and Prometheus text
+	// (/metrics) when asked. The registry snapshots on demand, so both
+	// endpoints always return coherent, clamped values.
+	if *httpAddr != "" {
+		reg.PublishExpvar("twodcache")
+		http.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "soak: http:", err)
+			}
+		}()
+		fmt.Printf("soak: serving /debug/vars and /metrics on %s\n", *httpAddr)
+	}
+
+	// The run ends at the deadline OR on SIGINT/SIGTERM: either way the
+	// context is cancelled, the workers drain, and the final obs-backed
+	// report below always prints.
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var (
 		silent     atomic.Uint64 // UNACCOUNTED mismatches: must stay zero
@@ -129,6 +154,37 @@ func main() {
 			for pending -= tick; pending <= 0; pending += storm.NextDelay() {
 				oneEvent()
 			}
+		}
+	}()
+
+	// Live stats line, straight off coherent registry snapshots.
+	statsDone := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		if *statsEvery <= 0 {
+			return
+		}
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			s := reg.Snapshot()
+			lat := s.Histogram("resilience_ladder_seconds")
+			fmt.Printf("soak: t=%5.1fs acc=%d hits=%d dues=%d mttr=%v scrubs=%d victims=%d disabled=%d faults=%d\n",
+				time.Since(start).Seconds(),
+				s.Counter("pcache_accesses_total"),
+				s.Counter("pcache_hits_total"),
+				s.Counter("resilience_dues_total"),
+				lat.Mean().Round(time.Microsecond),
+				s.Counter("scrub_passes_total"),
+				s.Counter("scrub_victims_total"),
+				s.Gauge("pcache_disabled_ways"),
+				stormCount.Load())
 		}
 	}()
 
@@ -220,13 +276,18 @@ func main() {
 	}
 
 	wg.Wait()
+	interrupted := ctx.Err() != nil && context.Cause(ctx) != context.DeadlineExceeded
 	cancel()
 	<-scrubDone
 	<-stormDone
+	<-statsDone
 	if err := eng.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "soak: final flush:", err)
 	}
 
+	if interrupted {
+		fmt.Println("soak: interrupted — drained workers, printing final report")
+	}
 	rep := eng.Report()
 	fmt.Printf("soak: %v, %d clients, %d client ops, %d fault events\n",
 		*duration, *clients, clientOps.Load(), stormCount.Load())

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"twodcache/internal/bist"
+	"twodcache/internal/obs"
 	"twodcache/internal/pcache"
 	"twodcache/internal/redundancy"
 	"twodcache/internal/resilience"
@@ -195,3 +196,25 @@ func NewResilientCache(cfg ProtectedCacheConfig, backing CacheBacking, rcfg Resi
 	}
 	return resilience.New(c, rcfg), nil
 }
+
+// --- observability -----------------------------------------------------------
+
+// MetricsRegistry is the coherent metrics registry every subsystem
+// registers into: snapshot it (coherent, clamped, monotonic), publish
+// it over expvar, or mount its Prometheus text handler. Pass one via
+// ResilienceConfig.Metrics to share a registry with the engine.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is one coherent point-in-time view of a registry.
+type MetricsSnapshot = obs.Snapshot
+
+// EventSink receives structured resilience events (recovery start/end,
+// scrub passes, degrade epochs, uncorrectable detections). Install one
+// via ResilienceConfig.Sink.
+type EventSink = obs.Sink
+
+// NopEventSink is the do-nothing EventSink (the default).
+type NopEventSink = obs.NopSink
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

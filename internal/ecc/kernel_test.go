@@ -109,7 +109,13 @@ func FuzzKernelVsVector(f *testing.F) {
 	f.Add(uint64(0), uint64(0), uint64(0))
 	f.Add(uint64(0xDEADBEEF), uint64(1)<<63, uint64(3))
 	f.Add(^uint64(0), uint64(0x8000000000000001), ^uint64(0))
-	codes := Registry()
+	// Seeds aimed at non-power-of-two EDC widths: bursts that straddle a
+	// group boundary only when n does not divide the word evenly.
+	f.Add(uint64(0xA5A5_5A5A_0F0F_F0F0), uint64(0x7FF)<<9, uint64(0))
+	f.Add(uint64(0x0123_4567_89AB_CDEF), uint64(0x1F)<<59, uint64(0x1F))
+	// Beyond the curated 64-bit power-of-two registry: EDCn with n not a
+	// power of two (group masks of uneven width) must agree too.
+	codes := append(Registry(), MustEDC(64, 11), MustEDC(64, 24), MustEDC(48, 8))
 	f.Fuzz(func(t *testing.T, dataBits, errLo, errHi uint64) {
 		for _, c := range codes {
 			k, n := c.DataBits(), CodewordBits(c)

@@ -158,19 +158,28 @@ func (c CoverageCell) Rate() float64 {
 
 // CoverageMatrix measures a scheme's correction rate over a grid of
 // cluster footprints, injecting each at random positions.
+//
+// Each (h, w) cell runs on its own rng, seeded from one base draw off
+// the caller's rng mixed with the cell's footprint, so a cell's trial
+// sequence depends only on the incoming seed and (h, w) — adding,
+// removing, or reordering grid entries never perturbs the other cells'
+// results. (Previously all cells shared the caller's rng, so every
+// cell's outcome depended on the entire grid before it.)
 func CoverageMatrix(s Scheme, rng *rand.Rand, heights, widths []int, trials int) []CoverageCell {
+	base := rng.Int63()
 	var out []CoverageCell
 	for _, h := range heights {
 		for _, w := range widths {
+			cellRng := rand.New(rand.NewSource(cellSeed(base, h, w)))
 			cell := CoverageCell{H: h, W: w}
 			for tr := 0; tr < trials; tr++ {
-				inst := s.New(rng)
+				inst := s.New(cellRng)
 				t := inst.Target()
 				if h > t.Rows() || w > t.RowBits() {
 					continue
 				}
-				r0 := rng.Intn(t.Rows() - h + 1)
-				c0 := rng.Intn(t.RowBits() - w + 1)
+				r0 := cellRng.Intn(t.Rows() - h + 1)
+				c0 := cellRng.Intn(t.RowBits() - w + 1)
 				Apply(t, SolidCluster(r0, c0, h, w))
 				cell.Trials++
 				if inst.Repair() {
@@ -181,6 +190,16 @@ func CoverageMatrix(s Scheme, rng *rand.Rand, heights, widths []int, trials int)
 		}
 	}
 	return out
+}
+
+// cellSeed derives the per-cell rng seed: a 64-bit mix (splitmix64
+// finalizer) of the campaign base seed with the cell footprint, so
+// nearby (h, w) pairs land on uncorrelated streams.
+func cellSeed(base int64, h, w int) int64 {
+	z := uint64(base) ^ uint64(h)<<32 ^ uint64(w)
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return int64(z ^ z>>31)
 }
 
 func randWord(rng *rand.Rand, k int) *bitvec.Vector {

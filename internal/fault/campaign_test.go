@@ -108,6 +108,55 @@ func TestCoverageMatrixDetectsLimit(t *testing.T) {
 	}
 }
 
+// TestCoverageMatrixCellsIndependent is the regression test for the
+// shared-rng bug: every cell consumed the one campaign rng, so a cell's
+// result depended on which cells ran before it. Now a cell keyed by
+// (h, w) must produce identical outcomes whether it runs alone or as
+// part of a larger grid.
+func TestCoverageMatrixCellsIndependent(t *testing.T) {
+	s := TwoDScheme{Cfg: twod.Config{
+		Rows: 64, WordsPerRow: 2, Horizontal: ecc.MustEDC(64, 8), VerticalGroups: 8,
+	}}
+	const trials = 4
+	full := CoverageMatrix(s, rand.New(rand.NewSource(11)), []int{1, 8, 24}, []int{1, 8, 24}, trials)
+	alone := CoverageMatrix(s, rand.New(rand.NewSource(11)), []int{8}, []int{24}, trials)
+	if len(alone) != 1 {
+		t.Fatalf("alone cells = %d", len(alone))
+	}
+	var fromFull CoverageCell
+	for _, c := range full {
+		if c.H == 8 && c.W == 24 {
+			fromFull = c
+		}
+	}
+	if fromFull != alone[0] {
+		t.Fatalf("cell 8x24 depends on grid composition: full %+v, alone %+v", fromFull, alone[0])
+	}
+}
+
+// TestCoverageMatrixPinnedCell pins known cells' exact outcomes for a
+// fixed seed, plus the seed-derivation mix itself, so any change to the
+// per-cell rng derivation (or a regression back to a shared stream) is
+// caught.
+func TestCoverageMatrixPinnedCell(t *testing.T) {
+	s := TwoDScheme{Cfg: twod.Config{
+		Rows: 64, WordsPerRow: 2, Horizontal: ecc.MustEDC(64, 8), VerticalGroups: 8,
+	}}
+	cells := CoverageMatrix(s, rand.New(rand.NewSource(11)), []int{12, 16}, []int{16}, 6)
+	want := []CoverageCell{
+		{H: 12, W: 16, Trials: 6, Successes: 6}, // within column-mode coverage
+		{H: 16, W: 16, Trials: 6, Successes: 0}, // beyond it
+	}
+	for i, w := range want {
+		if cells[i] != w {
+			t.Fatalf("pinned cell %d drifted: got %+v, want %+v", i, cells[i], w)
+		}
+	}
+	if got := uint64(cellSeed(0x123456789, 8, 24)); got != 0x8a3f90e95514f5ce {
+		t.Fatalf("cellSeed derivation drifted: %#x", got)
+	}
+}
+
 func TestCoverageCellRateEmpty(t *testing.T) {
 	if (CoverageCell{}).Rate() != 0 {
 		t.Fatal("empty cell rate should be 0")

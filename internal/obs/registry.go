@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered entry: exactly one of the accessors is set.
+type metric struct {
+	kind    metricKind
+	help    string
+	counter func() uint64
+	gauge   func() int64
+	hist    *Histogram
+}
+
+// Registry holds named metrics and produces coherent snapshots. All
+// methods are safe for concurrent use; registration is expected at
+// setup time, Snapshot at any time.
+type Registry struct {
+	mu      sync.Mutex
+	names   []string // registration order
+	metrics map[string]*metric
+	clamps  [][2]string // {lower, upper}: snapshot enforces lower <= upper
+	lastC   map[string]uint64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: map[string]*metric{},
+		lastC:   map[string]uint64{},
+	}
+}
+
+func (r *Registry) register(name string, m *metric) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names = append(r.names, name)
+	r.metrics[name] = m
+}
+
+// Counter registers and returns a new Counter under name. Panics on a
+// duplicate name (metric names identify time series; silently merging
+// two would corrupt both).
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, &metric{kind: kindCounter, help: help, counter: c.Load})
+	return c
+}
+
+// CounterFunc registers an external monotonic counter read through fn —
+// the bridge for subsystems that keep their own atomics (per-bank
+// padded counters, array stats) but want to be served by the registry.
+// fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, &metric{kind: kindCounter, help: help, counter: fn})
+}
+
+// Gauge registers and returns a new Gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, &metric{kind: kindGauge, help: help, gauge: g.Load})
+	return g
+}
+
+// GaugeFunc registers an external gauge read through fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.register(name, &metric{kind: kindGauge, help: help, gauge: fn})
+}
+
+// Histogram registers and returns a new latency histogram under name;
+// empty bounds select DefaultLatencyBounds.
+func (r *Registry) Histogram(name, help string, bounds ...time.Duration) *Histogram {
+	h := MustHistogram(bounds...)
+	r.register(name, &metric{kind: kindHistogram, help: help, hist: h})
+	return h
+}
+
+// ClampLE declares the invariant counter[lower] <= counter[upper]:
+// every snapshot clamps the lower value so the pair never reads
+// impossible (a success count exceeding its attempt count, hits
+// exceeding accesses). Both names must already be registered counters.
+func (r *Registry) ClampLE(lower, upper string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range [2]string{lower, upper} {
+		m, ok := r.metrics[n]
+		if !ok || m.kind != kindCounter {
+			panic(fmt.Sprintf("obs: ClampLE(%q, %q): %q is not a registered counter", lower, upper, n))
+		}
+	}
+	r.clamps = append(r.clamps, [2]string{lower, upper})
+}
+
+// HistogramSnapshot is one histogram's coherent state: Counts[i] is the
+// number of observations in (Bounds[i-1], Bounds[i]], with the final
+// bucket unbounded. Count always equals the sum of Counts.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []uint64
+	Count  uint64
+	Sum    time.Duration
+}
+
+// Mean returns the average observation (zero when empty).
+func (h HistogramSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Snapshot is a coherent point-in-time view of a registry: all declared
+// cross-counter invariants hold and counters never regress between
+// successive snapshots of the same registry.
+type Snapshot struct {
+	names      []string // registration order, for deterministic export
+	help       map[string]string
+	kinds      map[string]metricKind
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Counter returns a counter value by name (zero if absent).
+func (s *Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns a gauge value by name (zero if absent).
+func (s *Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Histogram returns a histogram snapshot by name (zero value if absent).
+func (s *Snapshot) Histogram(name string) HistogramSnapshot { return s.Histograms[name] }
+
+// Names returns the metric names in registration order.
+func (s *Snapshot) Names() []string { return append([]string(nil), s.names...) }
+
+// Snapshot reads every metric under the registry lock and applies the
+// coherence rules (see the package comment): ClampLE invariants first,
+// then monotonic clamping against the previous snapshot. Safe for
+// concurrent use; snapshots serialise against each other but never
+// block metric writers.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		names:      append([]string(nil), r.names...),
+		help:       make(map[string]string, len(r.names)),
+		kinds:      make(map[string]metricKind, len(r.names)),
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, name := range r.names {
+		m := r.metrics[name]
+		s.help[name] = m.help
+		s.kinds[name] = m.kind
+		switch m.kind {
+		case kindCounter:
+			s.Counters[name] = m.counter()
+		case kindGauge:
+			s.Gauges[name] = m.gauge()
+		case kindHistogram:
+			h := m.hist
+			hs := HistogramSnapshot{
+				Bounds: h.bounds,
+				Counts: make([]uint64, len(h.buckets)),
+			}
+			// Count is derived from the loaded buckets, never from an
+			// independently-read total, so Σ Counts == Count by
+			// construction.
+			for i := range h.buckets {
+				hs.Counts[i] = h.buckets[i].Load()
+				hs.Count += hs.Counts[i]
+			}
+			hs.Sum = time.Duration(h.sum.Load())
+			s.Histograms[name] = hs
+		}
+	}
+	// Rule 2: declared cross-counter invariants.
+	for _, cl := range r.clamps {
+		lo, up := cl[0], cl[1]
+		if s.Counters[lo] > s.Counters[up] {
+			s.Counters[lo] = s.Counters[up]
+		}
+	}
+	// Rule 3: monotonic against the previous snapshot, so rates derived
+	// from successive snapshots never go negative.
+	for name, v := range s.Counters {
+		if prev := r.lastC[name]; v < prev {
+			s.Counters[name] = prev
+		} else {
+			r.lastC[name] = v
+		}
+	}
+	return s
+}

@@ -3,6 +3,8 @@ package pcache
 import (
 	"encoding/binary"
 	"testing"
+
+	"twodcache/internal/obs"
 )
 
 // TestHitPathAllocFree pins the cache hit path to zero heap
@@ -27,6 +29,11 @@ func TestHitPathAllocFree(t *testing.T) {
 				Sets: 64, Ways: 4, LineBytes: 64, Banks: 4,
 				SECDEDHorizontal: secded,
 			}, NewMapBacking(64))
+			// The zero-alloc contract must survive full instrumentation:
+			// a registered registry and an installed (no-op) event sink.
+			reg := obs.NewRegistry()
+			c.RegisterMetrics(reg)
+			c.SetEventSink(obs.NopSink{})
 			const addr = 0x1040
 			seed := make([]byte, 64)
 			for i := range seed {

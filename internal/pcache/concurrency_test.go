@@ -7,8 +7,20 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"twodcache/internal/obs"
 	"twodcache/internal/twod"
 )
+
+// countingSink counts UncorrectableDetected events; everything else is
+// the no-op sink.
+type countingSink struct {
+	obs.NopSink
+	uncorrectable atomic.Uint64
+}
+
+func (s *countingSink) UncorrectableDetected(array string, set, way int) {
+	s.uncorrectable.Add(1)
+}
 
 // TestConcurrentTrafficWithInjectionAndScrub hammers the cache from
 // four worker goroutines while a fault injector flips bits under the
@@ -31,9 +43,31 @@ func TestConcurrentTrafficWithInjectionAndScrub(t *testing.T) {
 	)
 	back := NewMapBacking(64)
 	c := MustNew(Config{Sets: 64, Ways: 2, LineBytes: 64, Banks: 8}, back)
+	sink := &countingSink{}
+	c.SetEventSink(sink)
 
 	var stop atomic.Bool
 	var wg, aux sync.WaitGroup
+
+	// Stats coherence regression: before Stats() ordered its loads and
+	// clamped, a reader racing the fast-path hit counters could observe
+	// Hits > Accesses. Hammer the snapshot while traffic runs.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for !stop.Load() {
+			st := c.Stats()
+			if st.Hits > st.Accesses {
+				t.Errorf("incoherent stats: hits %d > accesses %d", st.Hits, st.Accesses)
+				return
+			}
+			if st.Hits+st.Misses > st.Accesses {
+				t.Errorf("incoherent stats: hits %d + misses %d > accesses %d",
+					st.Hits, st.Misses, st.Accesses)
+				return
+			}
+		}
+	}()
 
 	// Fault injector: single-bit flips into clean words only, under the
 	// bank lock so upsets never race a word mid-update.
@@ -149,6 +183,13 @@ func TestConcurrentTrafficWithInjectionAndScrub(t *testing.T) {
 	st := c.Stats()
 	if st.Hits == 0 || st.Misses == 0 {
 		t.Fatalf("test exercised nothing: %+v", st)
+	}
+	if st.Hits+st.Misses > st.Accesses {
+		t.Fatalf("final stats incoherent: %+v", st)
+	}
+	// Every counted uncorrectable emitted exactly one sink event.
+	if got := sink.uncorrectable.Load(); got != st.Uncorrectable {
+		t.Fatalf("sink saw %d uncorrectable events, counters say %d", got, st.Uncorrectable)
 	}
 }
 

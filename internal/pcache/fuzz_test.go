@@ -3,6 +3,8 @@ package pcache
 import (
 	"errors"
 	"testing"
+
+	"twodcache/internal/obs"
 )
 
 // FuzzCacheVsBacking drives the protected cache with a fuzz-chosen
@@ -22,6 +24,14 @@ func FuzzCacheVsBacking(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 42, 1, 1, 0, 0})
 	f.Add([]byte{3, 0, 0, 0, 5, 3, 0, 1, 2, 70, 1, 0, 0, 0, 3})
 	f.Add([]byte{0, 2, 3, 9, 3, 0, 2, 0, 8, 3, 0, 34, 0, 9, 1, 2, 3, 9, 2})
+	// Recovery-heavy seed: write, then pile flips on the same set before
+	// reading it back — forcing the repair path with obs hooks installed.
+	f.Add([]byte{
+		0, 5, 3, 77, 0,
+		3, 1, 2, 0, 4, 3, 1, 2, 1, 5, 3, 1, 3, 0, 6, 3, 1, 3, 1, 7,
+		1, 5, 3, 0, 0,
+		2, 0, 0, 0, 0,
+	})
 	f.Fuzz(func(t *testing.T, program []byte) {
 		const (
 			lineBytes = 64
@@ -30,6 +40,13 @@ func FuzzCacheVsBacking(f *testing.F) {
 		)
 		back := NewMapBacking(lineBytes)
 		c := MustNew(Config{Sets: sets, Ways: 2, LineBytes: lineBytes, Banks: 1}, back)
+
+		// Every fuzz execution runs with the observability hooks live so
+		// fuzz-found recovery interleavings also exercise the metrics and
+		// event paths; the registry must stay coherent throughout.
+		reg := obs.NewRegistry()
+		c.RegisterMetrics(reg)
+		c.SetEventSink(obs.NopSink{})
 
 		shadow := map[uint64]byte{} // by byte address
 		wep := map[uint64]uint64{}  // loss epoch at last shadow update
@@ -113,6 +130,13 @@ func FuzzCacheVsBacking(f *testing.F) {
 					a.FlipBit(r, a.Layout().PhysColumn(w, bit))
 				}
 			}
+		}
+
+		// The registry snapshot must stay coherent no matter what the
+		// program did: hits can never exceed accesses.
+		if s := reg.Snapshot(); s.Counter(MetricHits)+s.Counter(MetricMisses) > s.Counter(MetricAccesses) {
+			t.Fatalf("incoherent snapshot: hits %d + misses %d > accesses %d",
+				s.Counter(MetricHits), s.Counter(MetricMisses), s.Counter(MetricAccesses))
 		}
 
 		// Final sweep: every modelled byte must still be explained.

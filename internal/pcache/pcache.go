@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"twodcache/internal/ecc"
+	"twodcache/internal/obs"
 	"twodcache/internal/twod"
 )
 
@@ -157,8 +158,12 @@ func (e *UncorrectableError) Error() string {
 // Unwrap makes errors.Is(err, ErrUncorrectable) work.
 func (e *UncorrectableError) Unwrap() error { return ErrUncorrectable }
 
-// Stats counts cache-level events.
+// Stats counts cache-level events. A Stats value returned by
+// Cache.Stats is coherent: Hits ≤ Accesses and Hits+Misses ≤ Accesses
+// hold even while traffic races the snapshot.
 type Stats struct {
+	// Accesses counts Read/Write operations issued.
+	Accesses uint64
 	// Hits and Misses count accesses by outcome.
 	Hits, Misses uint64
 	// Writebacks counts dirty lines written to the backing store.
@@ -229,6 +234,11 @@ type Cache struct {
 	misses, writebacks       atomic.Uint64
 	recovered, uncorrectable atomic.Uint64
 	bypassed, dirtyLost      atomic.Uint64
+
+	// sink, when set, receives structured events from the slow paths
+	// (uncorrectable detections). Stored behind an atomic pointer so
+	// installation races no access and a nil sink costs one load.
+	sink atomic.Pointer[obs.Sink]
 }
 
 // tag word layout (64 bits): [0] valid, [1] dirty, [2..63] tag bits.
@@ -317,21 +327,116 @@ func MustNew(cfg Config, backing Backing) *Cache {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a coherent snapshot of the counters. Outcome counters
+// are loaded before the per-bank access counters: every hit/miss
+// increment happens strictly after its access increment, so loading the
+// dependents first guarantees Hits+Misses ≤ Accesses under concurrent
+// traffic. The clamps below are backstops, not the mechanism.
 func (c *Cache) Stats() Stats {
-	var hits uint64
+	var hits, accesses uint64
 	for _, b := range c.banks {
 		hits += b.hits.Load()
 	}
-	return Stats{
-		Hits:            hits,
-		Misses:          c.misses.Load(),
+	misses := c.misses.Load()
+	st := Stats{
 		Writebacks:      c.writebacks.Load(),
 		ErrorsRecovered: c.recovered.Load(),
 		Uncorrectable:   c.uncorrectable.Load(),
 		Bypassed:        c.bypassed.Load(),
 		DirtyLinesLost:  c.dirtyLost.Load(),
 	}
+	for _, b := range c.banks {
+		accesses += b.accesses.Load()
+	}
+	if hits > accesses {
+		hits = accesses
+	}
+	if hits+misses > accesses {
+		misses = accesses - hits
+	}
+	st.Accesses, st.Hits, st.Misses = accesses, hits, misses
+	return st
+}
+
+// SetEventSink installs (or, with nil, removes) the structured event
+// sink. The cache emits UncorrectableDetected from its slow paths;
+// clean hits never touch the sink. Safe to call concurrently with
+// traffic.
+func (c *Cache) SetEventSink(s obs.Sink) {
+	if s == nil {
+		c.sink.Store(nil)
+		return
+	}
+	c.sink.Store(&s)
+}
+
+// Metric names registered by RegisterMetrics.
+const (
+	MetricHits         = "pcache_hits_total"
+	MetricMisses       = "pcache_misses_total"
+	MetricAccesses     = "pcache_accesses_total"
+	MetricWritebacks   = "pcache_writebacks_total"
+	MetricRecovered    = "pcache_errors_recovered_total"
+	MetricUncorrect    = "pcache_uncorrectable_total"
+	MetricBypassed     = "pcache_bypassed_total"
+	MetricDirtyLost    = "pcache_dirty_lines_lost_total"
+	MetricDisabledWays = "pcache_disabled_ways"
+)
+
+// RegisterMetrics wires the cache's counters into a registry. Dependent
+// counters register — and are therefore snapshotted — before their
+// upper bounds (hits before accesses, per bank and in aggregate), and
+// ClampLE invariants back them up, so a registry snapshot can never
+// show hits exceeding accesses. Aggregated sub-array activity (reads,
+// recoveries, uncorrectable words across every bank's data and tag
+// arrays) is exported under pcache_array_*.
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc(MetricHits, "accesses served by a resident line", func() uint64 {
+		var n uint64
+		for _, b := range c.banks {
+			n += b.hits.Load()
+		}
+		return n
+	})
+	r.CounterFunc(MetricMisses, "accesses that required a line fill", c.misses.Load)
+	r.CounterFunc(MetricAccesses, "Read/Write operations issued", c.Accesses)
+	r.ClampLE(MetricHits, MetricAccesses)
+	r.ClampLE(MetricMisses, MetricAccesses)
+	r.CounterFunc(MetricWritebacks, "dirty lines written back to the backing store", c.writebacks.Load)
+	r.CounterFunc(MetricRecovered, "accesses that needed 2D recovery or in-line correction", c.recovered.Load)
+	r.CounterFunc(MetricUncorrect, "machine-check events (footprint beyond 2D coverage)", c.uncorrectable.Load)
+	r.CounterFunc(MetricBypassed, "accesses served from backing because the set is decommissioned", c.bypassed.Load)
+	r.CounterFunc(MetricDirtyLost, "decommissioned lines whose unflushed dirty data was discarded", c.dirtyLost.Load)
+	r.GaugeFunc(MetricDisabledWays, "ways currently decommissioned", c.disabledWays.Load)
+	for i, b := range c.banks {
+		b := b
+		hitsName := fmt.Sprintf("pcache_bank%d_hits_total", i)
+		accName := fmt.Sprintf("pcache_bank%d_accesses_total", i)
+		r.CounterFunc(hitsName, fmt.Sprintf("hits served by bank %d", i), b.hits.Load)
+		r.CounterFunc(accName, fmt.Sprintf("accesses routed to bank %d", i), b.accesses.Load)
+		r.ClampLE(hitsName, accName)
+	}
+	sumArrays := func(sel func(twod.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, b := range c.banks {
+				n += sel(b.data.Stats()) + sel(b.tags.Stats())
+			}
+			return n
+		}
+	}
+	r.CounterFunc("pcache_array_reads_total", "word reads across every protected sub-array",
+		sumArrays(func(s twod.Stats) uint64 { return s.Reads }))
+	r.CounterFunc("pcache_array_writes_total", "word writes across every protected sub-array",
+		sumArrays(func(s twod.Stats) uint64 { return s.Writes }))
+	r.CounterFunc("pcache_array_inline_corrections_total", "SECDED in-line corrections across every sub-array",
+		sumArrays(func(s twod.Stats) uint64 { return s.InlineCorrections }))
+	r.CounterFunc("pcache_array_recoveries_total", "2D recovery invocations across every sub-array",
+		sumArrays(func(s twod.Stats) uint64 { return s.Recoveries }))
+	r.CounterFunc("pcache_array_recovered_words_total", "words repaired by 2D recovery across every sub-array",
+		sumArrays(func(s twod.Stats) uint64 { return s.RecoveredWords }))
+	r.CounterFunc("pcache_array_uncorrectable_total", "uncorrectable word reads across every sub-array",
+		sumArrays(func(s twod.Stats) uint64 { return s.Uncorrectable }))
 }
 
 // Accesses returns the number of Read/Write operations issued so far —
@@ -404,6 +509,9 @@ func (c *Cache) noteSt(st twod.ReadStatus, array string, set, way int) error {
 	}
 	if st == twod.ReadUncorrectable {
 		c.uncorrectable.Add(1)
+		if p := c.sink.Load(); p != nil {
+			(*p).UncorrectableDetected(array, set, way)
+		}
 		return &UncorrectableError{Array: array, Set: set, Way: way}
 	}
 	return nil

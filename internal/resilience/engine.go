@@ -23,14 +23,20 @@
 // Rung 4 terminates: each pass retires one more way, and a fully
 // retired set bypasses the arrays entirely, so the ladder ends in a
 // usable, smaller cache rather than an error loop.
+//
+// All instrumentation is served through an obs.Registry: every ladder
+// counter is an obs.Counter, ladder latency lands in a histogram, and
+// Report() is built from one coherent Snapshot, so concurrent readers
+// can never observe impossible states (retry hits exceeding retries,
+// repairs exceeding DUEs).
 package resilience
 
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"twodcache/internal/obs"
 	"twodcache/internal/pcache"
 	"twodcache/internal/redundancy"
 )
@@ -45,14 +51,44 @@ type Config struct {
 	SpareRows int
 	// Clock overrides the time source (tests). Nil selects time.Now.
 	Clock func() time.Time
+	// Metrics is the registry the engine (and its cache and scrubber)
+	// registers into. Nil selects a fresh private registry. Reusing one
+	// registry across two engines over the same cache panics on the
+	// duplicate metric names — one registry serves one engine.
+	Metrics *obs.Registry
+	// Sink receives structured recovery events (RecoveryStart/End,
+	// DegradeEpoch, ScrubPass, UncorrectableDetected); it is also
+	// installed on the cache. Nil selects the no-op sink.
+	Sink obs.Sink
 }
+
+// Engine metric names (see DESIGN.md §8 for the full catalogue).
+const (
+	metricDUEs          = "resilience_dues_total"
+	metricRetries       = "resilience_retries_total"
+	metricRetryHits     = "resilience_retry_hits_total"
+	metricWordAttempts  = "resilience_word_attempts_total"
+	metricWordHits      = "resilience_word_hits_total"
+	metricFullAttempts  = "resilience_full_attempts_total"
+	metricFullHits      = "resilience_full_hits_total"
+	metricDecommissions = "resilience_decommissions_total"
+	metricRemaps        = "resilience_remaps_total"
+	metricExhausted     = "resilience_exhausted_total"
+	metricLadderSeconds = "resilience_ladder_seconds"
+	metricScrubPasses   = "scrub_passes_total"
+	metricScrubBackoffs = "scrub_backoffs_total"
+	metricScrubVictims  = "scrub_victims_total"
+	metricScrubSeconds  = "scrub_pass_seconds"
+)
 
 // Engine wraps a protected cache with the recovery escalation ladder.
 // All methods are safe for concurrent use.
 type Engine struct {
-	cache *pcache.Cache
-	cfg   Config
-	clock func() time.Time
+	cache   *pcache.Cache
+	cfg     Config
+	clock   func() time.Time
+	metrics *obs.Registry
+	sink    obs.Sink
 
 	// remap state: the accumulated faulty way-rows presented to the
 	// redundancy allocator, and which ways already consumed their one
@@ -62,21 +98,29 @@ type Engine struct {
 	remappedOnce map[int]bool
 	scrubber     *Scrubber
 
-	dues           atomic.Uint64
-	retries        atomic.Uint64
-	retryHits      atomic.Uint64
-	wordAttempts   atomic.Uint64
-	wordHits       atomic.Uint64
-	fullAttempts   atomic.Uint64
-	fullHits       atomic.Uint64
-	decommissions  atomic.Uint64
-	remaps         atomic.Uint64
-	exhausted      atomic.Uint64
-	repairs        atomic.Uint64
-	repairDuration atomic.Int64 // nanoseconds across all ladder runs
+	dues          *obs.Counter
+	retries       *obs.Counter
+	retryHits     *obs.Counter
+	wordAttempts  *obs.Counter
+	wordHits      *obs.Counter
+	fullAttempts  *obs.Counter
+	fullHits      *obs.Counter
+	decommissions *obs.Counter
+	remaps        *obs.Counter
+	exhausted     *obs.Counter
+	ladderLatency *obs.Histogram
+
+	// Scrub counters live on the engine (pre-registered, zero without a
+	// scrubber) so attaching a scrubber never re-registers names.
+	scrubPasses   *obs.Counter
+	scrubBackoffs *obs.Counter
+	scrubVictims  *obs.Counter
+	scrubLatency  *obs.Histogram
 }
 
-// New builds an engine over the cache.
+// New builds an engine over the cache, registering the engine's, the
+// scrubber's, and the cache's instrumentation into cfg.Metrics (or a
+// fresh registry) and installing cfg.Sink on the cache.
 func New(c *pcache.Cache, cfg Config) *Engine {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 1
@@ -87,17 +131,60 @@ func New(c *pcache.Cache, cfg Config) *Engine {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Engine{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	sink := cfg.Sink
+	if sink == nil {
+		sink = obs.NopSink{}
+	}
+	e := &Engine{
 		cache:        c,
 		cfg:          cfg,
 		clock:        clock,
+		metrics:      reg,
+		sink:         sink,
 		remappedOnce: map[int]bool{},
+
+		dues:          reg.Counter(metricDUEs, "detected-uncorrectable events entering the ladder"),
+		retries:       reg.Counter(metricRetries, "rung-1 access re-issues"),
+		retryHits:     reg.Counter(metricRetryHits, "accesses rescued by a bare retry"),
+		wordAttempts:  reg.Counter(metricWordAttempts, "rung-2 targeted word recoveries attempted"),
+		wordHits:      reg.Counter(metricWordHits, "accesses rescued by word recovery"),
+		fullAttempts:  reg.Counter(metricFullAttempts, "rung-3 full 2D recoveries attempted"),
+		fullHits:      reg.Counter(metricFullHits, "accesses rescued by full 2D recovery"),
+		decommissions: reg.Counter(metricDecommissions, "ways retired by graceful degradation"),
+		remaps:        reg.Counter(metricRemaps, "retired ways remapped to spare rows"),
+		exhausted:     reg.Counter(metricExhausted, "ladder runs that failed even after degradation"),
+		ladderLatency: reg.Histogram(metricLadderSeconds, "DUE-to-resolution ladder latency"),
+
+		scrubPasses:   reg.Counter(metricScrubPasses, "completed scrub sweeps"),
+		scrubBackoffs: reg.Counter(metricScrubBackoffs, "sweeps deferred under high traffic"),
+		scrubVictims:  reg.Counter(metricScrubVictims, "unrepairable ways retired by sweeps"),
+		scrubLatency:  reg.Histogram(metricScrubSeconds, "whole-sweep scrub latency"),
 	}
+	// The success count of a rung can never exceed its attempts, remaps
+	// never exceed decommissions, and no rung outcome exceeds the DUEs
+	// that entered the ladder: declare it so snapshots enforce it.
+	reg.ClampLE(metricRetryHits, metricRetries)
+	reg.ClampLE(metricWordHits, metricWordAttempts)
+	reg.ClampLE(metricFullHits, metricFullAttempts)
+	reg.ClampLE(metricRemaps, metricDecommissions)
+	reg.ClampLE(metricExhausted, metricDUEs)
+	c.RegisterMetrics(reg)
+	c.SetEventSink(sink)
+	return e
 }
 
 // Cache returns the underlying protected cache (for fault injection,
 // statistics, and direct access).
 func (e *Engine) Cache() *pcache.Cache { return e.cache }
+
+// Metrics returns the registry serving the engine's, scrubber's, and
+// cache's instrumentation — snapshot it, publish it over expvar, or
+// mount its Prometheus handler.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Read serves n bytes at addr, running the escalation ladder on any
 // detected-uncorrectable error. An error return means even graceful
@@ -140,21 +227,28 @@ func (e *Engine) Flush() error {
 
 // ladder escalates a located DUE rung by rung, re-issuing attempt()
 // after each rung until it succeeds or the degrade rung exhausts the
-// set's ways. err must be the failing attempt's error.
+// set's ways. err must be the failing attempt's error. It brackets the
+// run with RecoveryStart/End events and a latency observation.
 func (e *Engine) ladder(err error, attempt func() error) error {
 	var ue *pcache.UncorrectableError
 	if !errors.As(err, &ue) {
 		return err // not a machine check (span error, ...): no ladder
 	}
-	e.dues.Add(1)
+	e.dues.Inc()
+	e.sink.RecoveryStart(ue.Array, ue.Set, ue.Way)
 	start := e.clock()
-	defer func() {
-		e.repairs.Add(1)
-		e.repairDuration.Add(int64(e.clock().Sub(start)))
-	}()
+	ferr := e.runLadder(&ue, attempt)
+	d := e.clock().Sub(start)
+	e.ladderLatency.Observe(d)
+	e.sink.RecoveryEnd(ue.Array, ue.Set, ue.Way, ferr == nil, d)
+	return ferr
+}
 
+// runLadder is the rung sequence; *ue is rebound whenever a re-issued
+// attempt surfaces a new fault location.
+func (e *Engine) runLadder(ue **pcache.UncorrectableError, attempt func() error) error {
 	// again re-issues the access; ok means done, a non-nil herr is a
-	// hard (non-DUE) failure; otherwise ue is rebound to the new fault.
+	// hard (non-DUE) failure; otherwise *ue is rebound to the new fault.
 	again := func() (ok bool, herr error) {
 		err2 := attempt()
 		if err2 == nil {
@@ -164,45 +258,45 @@ func (e *Engine) ladder(err error, attempt func() error) error {
 		if !errors.As(err2, &u2) {
 			return false, err2
 		}
-		ue = u2
+		*ue = u2
 		return false, nil
 	}
 
 	// Rung 1: retry.
 	for i := 0; i < e.cfg.MaxRetries; i++ {
-		e.retries.Add(1)
+		e.retries.Inc()
 		ok, herr := again()
 		if herr != nil {
 			return herr
 		}
 		if ok {
-			e.retryHits.Add(1)
+			e.retryHits.Inc()
 			return nil
 		}
 	}
 
 	// Rung 2: targeted word-level recovery.
-	e.wordAttempts.Add(1)
-	if e.cache.RecoverWord(ue.Array, ue.Set, ue.Way) {
+	e.wordAttempts.Inc()
+	if e.cache.RecoverWord((*ue).Array, (*ue).Set, (*ue).Way) {
 		ok, herr := again()
 		if herr != nil {
 			return herr
 		}
 		if ok {
-			e.wordHits.Add(1)
+			e.wordHits.Inc()
 			return nil
 		}
 	}
 
 	// Rung 3: full 2D recovery over the bank.
-	e.fullAttempts.Add(1)
-	if e.cache.RecoverSetArrays(ue.Set) {
+	e.fullAttempts.Inc()
+	if e.cache.RecoverSetArrays((*ue).Set) {
 		ok, herr := again()
 		if herr != nil {
 			return herr
 		}
 		if ok {
-			e.fullHits.Add(1)
+			e.fullHits.Inc()
 			return nil
 		}
 	}
@@ -213,7 +307,7 @@ func (e *Engine) ladder(err error, attempt func() error) error {
 	// fault source that keeps naming fresh locations.
 	maxDegrades := e.cache.Config().Ways + 2
 	for i := 0; i < maxDegrades; i++ {
-		e.Degrade(ue.Set, ue.Way)
+		e.Degrade((*ue).Set, (*ue).Way)
 		ok, herr := again()
 		if herr != nil {
 			return herr
@@ -222,8 +316,8 @@ func (e *Engine) ladder(err error, attempt func() error) error {
 			return nil
 		}
 	}
-	e.exhausted.Add(1)
-	return &pcache.UncorrectableError{Array: ue.Array, Set: ue.Set, Way: ue.Way}
+	e.exhausted.Inc()
+	return &pcache.UncorrectableError{Array: (*ue).Array, Set: (*ue).Set, Way: (*ue).Way}
 }
 
 // Degrade is rung 4 as a direct entry point (the scrubber uses it for
@@ -231,7 +325,8 @@ func (e *Engine) ladder(err error, attempt func() error) error {
 // to remap it to a spare row.
 func (e *Engine) Degrade(set, way int) (lostDirty bool) {
 	lostDirty = e.cache.Decommission(set, way)
-	e.decommissions.Add(1)
+	e.decommissions.Inc()
+	e.sink.DegradeEpoch(set, way, lostDirty)
 	e.tryRemap(set, way)
 	return lostDirty
 }
@@ -265,7 +360,7 @@ func (e *Engine) tryRemap(set, way int) {
 	e.faultyRows = faults
 	e.remappedOnce[key] = true
 	e.cache.Reenable(set, way)
-	e.remaps.Add(1)
+	e.remaps.Inc()
 }
 
 // Report is the health API: everything an operator needs to judge
@@ -308,43 +403,44 @@ type Report struct {
 	Cache pcache.Stats
 }
 
-// Report snapshots the engine's health.
+// Report snapshots the engine's health from one coherent metrics
+// snapshot: all cross-counter invariants (rung successes ≤ attempts,
+// remaps ≤ decommissions, exhausted ≤ DUEs) hold even while ladders,
+// scrub sweeps, and traffic run concurrently.
 func (e *Engine) Report() Report {
 	cc := e.cache.Config()
+	// Snapshot the engine counters BEFORE the cache counters: every DUE
+	// is preceded by the access that tripped it, so this order keeps
+	// DUERate ≤ 1 without a cross-source clamp.
+	snap := e.metrics.Snapshot()
 	st := e.cache.Stats()
 	total := cc.Sets * cc.Ways
 	disabled := e.cache.DisabledWays()
+	lat := snap.Histogram(metricLadderSeconds)
 	r := Report{
-		Accesses:        e.cache.Accesses(),
-		DUEs:            e.dues.Load(),
-		Retries:         e.retries.Load(),
-		RetrySuccesses:  e.retryHits.Load(),
-		WordAttempts:    e.wordAttempts.Load(),
-		WordRecoveries:  e.wordHits.Load(),
-		FullAttempts:    e.fullAttempts.Load(),
-		FullRecoveries:  e.fullHits.Load(),
-		Decommissions:   e.decommissions.Load(),
-		Remaps:          e.remaps.Load(),
-		Exhausted:       e.exhausted.Load(),
+		Accesses:        st.Accesses,
+		DUEs:            snap.Counter(metricDUEs),
+		Retries:         snap.Counter(metricRetries),
+		RetrySuccesses:  snap.Counter(metricRetryHits),
+		WordAttempts:    snap.Counter(metricWordAttempts),
+		WordRecoveries:  snap.Counter(metricWordHits),
+		FullAttempts:    snap.Counter(metricFullAttempts),
+		FullRecoveries:  snap.Counter(metricFullHits),
+		Decommissions:   snap.Counter(metricDecommissions),
+		Remaps:          snap.Counter(metricRemaps),
+		Exhausted:       snap.Counter(metricExhausted),
+		ScrubPasses:     snap.Counter(metricScrubPasses),
+		ScrubBackoffs:   snap.Counter(metricScrubBackoffs),
+		ScrubVictims:    snap.Counter(metricScrubVictims),
 		DirtyLinesLost:  st.DirtyLinesLost,
 		DisabledWays:    disabled,
 		TotalWays:       total,
 		CapacityLostPct: 100 * float64(disabled) / float64(total),
+		MTTR:            lat.Mean(),
 		Cache:           st,
 	}
 	if r.Accesses > 0 {
 		r.DUERate = float64(r.DUEs) / float64(r.Accesses)
-	}
-	if n := e.repairs.Load(); n > 0 {
-		r.MTTR = time.Duration(e.repairDuration.Load() / int64(n))
-	}
-	e.mu.Lock()
-	s := e.scrubber
-	e.mu.Unlock()
-	if s != nil {
-		r.ScrubPasses = s.Passes()
-		r.ScrubBackoffs = s.Backoffs()
-		r.ScrubVictims = s.Victims()
 	}
 	return r
 }

@@ -2,7 +2,6 @@ package resilience
 
 import (
 	"context"
-	"sync/atomic"
 	"time"
 )
 
@@ -43,7 +42,9 @@ func (c ScrubberConfig) withDefaults() ScrubberConfig {
 // configurable interval, traffic-aware: it backs off while the access
 // rate is high and catches up when the cache goes idle (cf. Kishani et
 // al.'s traffic-aware ECC maintenance). Victims a sweep cannot repair
-// are handed to the engine's degrade rung.
+// are handed to the engine's degrade rung. Pass/backoff/victim counts
+// and sweep latency are served through the engine's metrics registry,
+// and every completed sweep emits a ScrubPass event.
 type Scrubber struct {
 	engine *Engine
 	cfg    ScrubberConfig
@@ -53,10 +54,6 @@ type Scrubber struct {
 	accessFn func() uint64
 	clock    func() time.Time
 	sleep    func(ctx context.Context, d time.Duration) bool
-
-	passes   atomic.Uint64
-	backoffs atomic.Uint64
-	victims  atomic.Uint64
 }
 
 // NewScrubber builds the engine's background scrubber and attaches it
@@ -87,31 +84,37 @@ func realSleep(ctx context.Context, d time.Duration) bool {
 }
 
 // Passes returns completed sweep count.
-func (s *Scrubber) Passes() uint64 { return s.passes.Load() }
+func (s *Scrubber) Passes() uint64 { return s.engine.scrubPasses.Load() }
 
 // Backoffs returns how many times a sweep was deferred under load.
-func (s *Scrubber) Backoffs() uint64 { return s.backoffs.Load() }
+func (s *Scrubber) Backoffs() uint64 { return s.engine.scrubBackoffs.Load() }
 
 // Victims returns how many unrepairable ways sweeps have retired.
-func (s *Scrubber) Victims() uint64 { return s.victims.Load() }
+func (s *Scrubber) Victims() uint64 { return s.engine.scrubVictims.Load() }
 
 // Sweep runs one full scrubbing pass over every bank, degrading any
 // ways whose damage exceeds 2D coverage. It reports whether every bank
 // checked (or was repaired) clean without needing degradation.
 func (s *Scrubber) Sweep() bool {
 	c := s.engine.cache
+	start := s.clock()
 	clean := true
+	retired := 0
 	for i := 0; i < c.NumBanks(); i++ {
 		ok, victims := c.ScrubBank(i)
 		if !ok {
 			clean = false
 			for _, v := range victims {
-				s.victims.Add(1)
+				s.engine.scrubVictims.Inc()
+				retired++
 				s.engine.Degrade(v.Set, v.Way)
 			}
 		}
 	}
-	s.passes.Add(1)
+	d := s.clock().Sub(start)
+	s.engine.scrubPasses.Inc()
+	s.engine.scrubLatency.Observe(d)
+	s.engine.sink.ScrubPass(c.NumBanks(), clean, retired, d)
 	return clean
 }
 
@@ -139,7 +142,7 @@ func (s *Scrubber) Run(ctx context.Context) error {
 			if rate <= s.cfg.HighRate || deferred >= s.cfg.MaxDelay {
 				break
 			}
-			s.backoffs.Add(1)
+			s.engine.scrubBackoffs.Inc()
 			if !s.sleep(ctx, s.cfg.PollInterval) {
 				return ctx.Err()
 			}

@@ -5,6 +5,7 @@ import (
 
 	"twodcache/internal/bitvec"
 	"twodcache/internal/ecc"
+	"twodcache/internal/obs"
 )
 
 // TestHotPathAllocFree pins the per-access allocation count of the
@@ -34,6 +35,11 @@ func TestHotPathAllocFree(t *testing.T) {
 				Horizontal:     tc.horiz,
 				VerticalGroups: 16,
 			})
+			// The zero-alloc contract must survive full instrumentation:
+			// a registered registry and an installed (no-op) event sink.
+			reg := obs.NewRegistry()
+			a.RegisterMetrics(reg, "twod_"+tc.name)
+			a.SetEventSink(obs.NopSink{}, "data")
 			for w := 0; w < 8; w++ {
 				a.WriteUint64(3, w, 0xA5A5_5A5A_DEAD_BEEF+uint64(w))
 			}

@@ -124,6 +124,10 @@ type Array struct {
 	}
 	// tryScratch pools codeword buffers for the concurrent TryRead path.
 	tryScratch sync.Pool
+
+	// sink, when set, receives recovery and uncorrectable events (see
+	// SetEventSink in obs.go). Atomic so installation races no access.
+	sink atomic.Pointer[arraySink]
 }
 
 // cfgCache embeds Config plus derived values the hot loops need.
@@ -363,6 +367,7 @@ func (a *Array) writeStaged(r, w int) ReadStatus {
 			a.encodeDataInto(a.scr.cw)
 			a.storeRawWords(r, w, a.scr.cw)
 			a.rebuildParity()
+			a.emitUncorrectable(r, w)
 			return ReadUncorrectable
 		}
 		status = ReadRecovered
@@ -418,6 +423,7 @@ func (a *Array) readIntoScratch(r, w int) ReadStatus {
 	default:
 		if !a.repairWord(r, w) {
 			a.extractInto(a.scr.cw, r, w)
+			a.emitUncorrectable(r, w)
 			return ReadUncorrectable
 		}
 		a.extractInto(a.scr.cw, r, w)

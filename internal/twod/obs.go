@@ -1,0 +1,68 @@
+package twod
+
+import (
+	"sync/atomic"
+	"time"
+
+	"twodcache/internal/obs"
+)
+
+// arraySink pairs an installed event sink with the label the array
+// reports itself as ("data", "tags", ...).
+type arraySink struct {
+	s     obs.Sink
+	label string
+}
+
+// SetEventSink installs (or, with nil, removes) a structured event sink
+// on the array. The array emits RecoveryStart/RecoveryEnd around each
+// Recover invocation (with set and way -1: recovery is array-wide) and
+// UncorrectableDetected with the (row, word) coordinates of a word read
+// or write that exceeded the 2D coverage. label names the array in
+// those events. Clean accesses never touch the sink, so the hot path
+// stays allocation-free with any sink installed.
+func (a *Array) SetEventSink(s obs.Sink, label string) {
+	if s == nil {
+		a.sink.Store(nil)
+		return
+	}
+	a.sink.Store(&arraySink{s: s, label: label})
+}
+
+func (a *Array) emitUncorrectable(r, w int) {
+	if h := a.sink.Load(); h != nil {
+		h.s.UncorrectableDetected(h.label, r, w)
+	}
+}
+
+// Recover runs the 2D recovery process over the whole array and repairs
+// what the coverage allows (Fig. 4(b); see recoverImpl for the steps),
+// emitting RecoveryStart/RecoveryEnd events when a sink is installed.
+func (a *Array) Recover() RecoveryReport {
+	h := a.sink.Load()
+	if h == nil {
+		return a.recoverImpl()
+	}
+	h.s.RecoveryStart(h.label, -1, -1)
+	start := time.Now()
+	rep := a.recoverImpl()
+	h.s.RecoveryEnd(h.label, -1, -1, rep.Success, time.Since(start))
+	return rep
+}
+
+// RegisterMetrics exports the array's activity counters through the
+// registry under prefix_* names (prefix must be unique per registry,
+// e.g. "twod_data"). The counters remain the array's own atomics; the
+// registry reads them through CounterFuncs at snapshot time.
+func (a *Array) RegisterMetrics(r *obs.Registry, prefix string) {
+	load := func(p *uint64) func() uint64 {
+		return func() uint64 { return atomic.LoadUint64(p) }
+	}
+	r.CounterFunc(prefix+"_reads_total", "word read operations", load(&a.stats.Reads))
+	r.CounterFunc(prefix+"_writes_total", "word write operations", load(&a.stats.Writes))
+	r.CounterFunc(prefix+"_extra_reads_total", "read-before-write operations for vertical parity", load(&a.stats.ExtraReads))
+	r.CounterFunc(prefix+"_inline_corrections_total", "single-bit errors repaired in line by SECDED", load(&a.stats.InlineCorrections))
+	r.CounterFunc(prefix+"_recoveries_total", "2D recovery invocations", load(&a.stats.Recoveries))
+	r.CounterFunc(prefix+"_recovered_words_total", "words repaired by 2D recovery", load(&a.stats.RecoveredWords))
+	r.CounterFunc(prefix+"_uncorrectable_total", "recovery attempts that exceeded the 2D coverage", load(&a.stats.Uncorrectable))
+}

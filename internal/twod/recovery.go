@@ -71,8 +71,8 @@ func (r RecoveryReport) CyclesEstimate() int {
 	return r.ScanReads + r.BitsFlipped
 }
 
-// Recover runs the 2D recovery process over the whole array and
-// repairs what the coverage allows. It implements Fig. 4(b):
+// recoverImpl is the 2D recovery process (Recover without event
+// emission). It implements Fig. 4(b):
 //
 //  1. March over all rows, checking every word's horizontal code.
 //  2. If every vertical group holds at most one faulty row, each faulty
@@ -82,7 +82,7 @@ func (r RecoveryReport) CyclesEstimate() int {
 //     suspect set along the horizontal direction.
 //  4. Re-verify; refresh parity rows if the data is clean but parity is
 //     stale (errors struck the parity storage itself).
-func (a *Array) Recover() RecoveryReport {
+func (a *Array) recoverImpl() RecoveryReport {
 	atomic.AddUint64(&a.stats.Recoveries, 1)
 	rep := RecoveryReport{}
 

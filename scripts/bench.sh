@@ -3,24 +3,33 @@
 #
 #   ./scripts/bench.sh                  # headline data-path benches, 5 runs
 #   ./scripts/bench.sh -kernels         # per-code kernel micro-benches only
+#   ./scripts/bench.sh -obs             # observability overhead micro-benches
 #   ./scripts/bench.sh -all             # every benchmark (incl. figure regen)
 #   COUNT=10 ./scripts/bench.sh         # override run count
 #
 # Always passes -benchmem so allocation regressions show up next to the
 # timing. Pipe two runs through benchstat to compare; the committed
-# baseline lives in results/BENCH_kernels.md.
+# baselines live in results/BENCH_kernels.md and results/BENCH_obs.md.
 set -eu
 cd "$(dirname "$0")/.."
 
 count=${COUNT:-5}
-pattern='BenchmarkArrayWrite$|BenchmarkArrayReadClean$|BenchmarkEDC8Syndrome$|BenchmarkSECDEDDecode$|BenchmarkPCacheParallelRead$|BenchmarkPCacheParallelReadInto$|BenchmarkKernel'
+pattern='BenchmarkArrayWrite$|BenchmarkArrayReadClean$|BenchmarkEDC8Syndrome$|BenchmarkSECDEDDecode$|BenchmarkPCacheParallelRead$|BenchmarkPCacheParallelReadInto$|BenchmarkKernel|BenchmarkObs'
+pkgs='. ./internal/obs/'
 case "${1:-}" in
 -kernels)
     pattern='BenchmarkKernel'
+    pkgs='.'
+    ;;
+-obs)
+    pattern='BenchmarkObs'
+    pkgs='./internal/obs/'
     ;;
 -all)
     pattern='.'
+    pkgs='./...'
     ;;
 esac
 
-exec go test -run '^$' -bench "$pattern" -benchmem -count "$count" .
+# shellcheck disable=SC2086 # pkgs is an intentional word list
+exec go test -run '^$' -bench "$pattern" -benchmem -count "$count" $pkgs

@@ -5,9 +5,13 @@
 #   ./scripts/check.sh -full    # additionally race-test every package
 #
 # The race pass covers the packages with concurrent hot paths (banked
-# pcache locking, the resilience engine/scrubber, atomic twod stats) and
-# the kernel layer they are built on (bitvec word views, ecc scratch
-# pools); -full extends it to the whole module.
+# pcache locking, the resilience engine/scrubber, atomic twod stats,
+# the obs registry) and the kernel layer they are built on (bitvec word
+# views, ecc scratch pools); -full extends it to the whole module.
+#
+# staticcheck runs when the binary is on PATH and is skipped with a
+# warning otherwise, so the gate tightens automatically on machines
+# that have it without breaking minimal containers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +24,12 @@ if [ -n "$fmt_out" ]; then
 fi
 echo "== go vet ./..."
 go vet ./...
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
 echo "== go build ./..."
 go build ./...
 echo "== go test ./..."
@@ -29,6 +39,6 @@ if [ "${1:-}" = "-full" ]; then
     go test -race ./...
 else
     echo "== go test -race (concurrency-hardened packages + kernel layer)"
-    go test -race ./internal/bitvec/ ./internal/ecc/ ./internal/twod/ ./internal/pcache/ ./internal/resilience/
+    go test -race ./internal/bitvec/ ./internal/ecc/ ./internal/twod/ ./internal/pcache/ ./internal/resilience/ ./internal/obs/
 fi
 echo "check: OK"

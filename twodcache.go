@@ -145,6 +145,10 @@ type Protection = sim.Protection
 // SimResult is one simulation run's outcome.
 type SimResult = sim.Result
 
+// SimAccessStats breaks a cache level's simulated traffic into the
+// classes of Fig. 6.
+type SimAccessStats = sim.AccessStats
+
 // IPCLossReport is the matched-pair performance comparison of Fig. 5.
 type IPCLossReport = sim.LossReport
 
