@@ -32,8 +32,50 @@ import (
 
 	"twodcache"
 	"twodcache/internal/fault"
+	"twodcache/internal/replay"
 	"twodcache/internal/twod"
 )
+
+// replayMain deterministically re-executes a recorded (or shrunk)
+// trace single-threaded and applies the soak's pass/fail rules to the
+// replayed taxonomy. Traces declaring "expect silent" are harness
+// self-validation traces and must go silent; every other trace must
+// not.
+func replayMain(path string) int {
+	tr, err := replay.ParseFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		return 2
+	}
+	res, err := replay.Run(tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak: replay:", err)
+		return 2
+	}
+	for _, d := range res.SilentDetails {
+		fmt.Fprintln(os.Stderr, "soak: "+d)
+	}
+	fmt.Printf("soak: replayed %d events (%d client ops, %d flips applied, %d gated)\n",
+		len(tr.Events), res.Ops, res.FlipsApplied, res.FlipsSkipped)
+	fmt.Print(res.Report.String())
+	fmt.Printf("  accounting:  %d accounted losses, %d ladder-exhausted DUEs, %d SILENT corruptions\n",
+		res.Accounted, res.Reported, res.Silent)
+	fmt.Printf("  state hash:  %016x\n", res.StateHash)
+	if tr.ExpectSilent {
+		if res.Silent == 0 {
+			fmt.Println("soak: FAIL — self-validation trace did not go silent")
+			return 1
+		}
+		fmt.Println("soak: PASS — self-validation trace classified silent, as declared")
+		return 0
+	}
+	if res.Silent > 0 {
+		fmt.Println("soak: FAIL — silent corruption detected")
+		return 1
+	}
+	fmt.Println("soak: PASS — every mismatch accounted for by a reported DUE/decommission")
+	return 0
+}
 
 func main() {
 	var (
@@ -51,8 +93,14 @@ func main() {
 		seed          = flag.Int64("seed", 1, "random seed")
 		statsEvery    = flag.Duration("stats-interval", 500*time.Millisecond, "period of the live stats line (0 disables)")
 		httpAddr      = flag.String("http", "", "serve expvar (/debug/vars) and Prometheus text (/metrics) on this address")
+		recordPath    = flag.String("record", "", "record the run's event trace to this file (order is exact with -banks 1, best-effort otherwise)")
+		replayPath    = flag.String("replay", "", "deterministically replay a recorded or shrunk trace instead of running live (load/fault flags are ignored)")
+		selftestPoke  = flag.Bool("selftest-corrupt-backing", false, "harness self-validation: continuously corrupt the backing store behind the cache's back; the run MUST then FAIL with silent corruption (run with the storm slowed so no loss epoch moves)")
 	)
 	flag.Parse()
+	if *replayPath != "" {
+		os.Exit(replayMain(*replayPath))
+	}
 	if *clients < 1 {
 		fmt.Fprintln(os.Stderr, "soak: need at least one client")
 		os.Exit(2)
@@ -73,6 +121,20 @@ func main() {
 		Interval: *scrubInterval,
 		HighRate: *highRate,
 	})
+
+	// Optional trace recording for offline deterministic replay
+	// (-replay) and shrinking (cmd/tracehunt). Events are appended in
+	// completion order: with a single bank that matches the bank-lock
+	// commit order, so the replayed run walks the same state sequence;
+	// with several banks the recorded interleaving is best-effort.
+	// Geometry defaults (VerticalGroups, MaxRetries) mirror the engine's.
+	var rec *replay.Recorder
+	if *recordPath != "" {
+		rec = replay.NewRecorder(replay.Config{
+			Sets: *sets, Ways: *ways, LineBytes: *lineBytes, Banks: *banks,
+			VerticalGroups: 32, SECDED: *secded, SpareRows: *spares, MaxRetries: 1,
+		})
+	}
 
 	// Serve the registry over expvar (/debug/vars) and Prometheus text
 	// (/metrics) when asked. The registry snapshots on demand, so both
@@ -107,10 +169,28 @@ func main() {
 		stormCount atomic.Uint64
 	)
 
-	// Background scrubber.
+	// Background scrubber. When recording, drive the sweeps bank by bank
+	// so each one lands in the trace (traffic-aware backoff is skipped —
+	// a recorded run favours reproducibility over load shaping).
 	go func() {
 		defer close(scrubDone)
-		_ = scrubber.Run(ctx)
+		if rec == nil {
+			_ = scrubber.Run(ctx)
+			return
+		}
+		ticker := time.NewTicker(*scrubInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			for i := 0; i < cache.NumBanks(); i++ {
+				rec.Scrub(i)
+				scrubber.SweepBank(i)
+			}
+		}
 	}()
 
 	// Continuous Poisson fault storm. Each event lands under the bank
@@ -130,6 +210,12 @@ func main() {
 				}
 				p := storm.NextEvent(a.Rows(), a.RowBits())
 				for _, fl := range p.Flips {
+					if rec != nil {
+						// Record the attempt; replay re-applies the same
+						// clean-word gate below, so gating stays sound
+						// even after the shrinker removes other events.
+						rec.Flip(bi, hitTags, fl.Row, fl.Col)
+					}
 					w, _ := a.Layout().Locate(fl.Col)
 					if _, ok := a.TryRead(fl.Row, w); ok {
 						a.FlipBit(fl.Row, fl.Col)
@@ -191,6 +277,33 @@ func main() {
 	// Clients: disjoint line ownership (line % clients == id), private
 	// shadow model, loss-epoch accounting.
 	lines := uint64(4 * *sets) // 4x the sets: plenty of conflict misses
+
+	// Self-validation of the oracle and the exit path: corrupt the
+	// backing store behind the cache's back, which no reported DUE or
+	// decommission can ever account for. Clean-evicted lines refill with
+	// the corrupted bytes, so the run must detect SILENT corruption and
+	// exit non-zero — if it does not, the oracle itself is broken.
+	if *selftestPoke {
+		go func() {
+			ticker := time.NewTicker(10 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				for l := uint64(0); l < lines; l++ {
+					la := l * uint64(*lineBytes)
+					b := backing.ReadLine(la)
+					for i := range b {
+						b[i] ^= 0xFF
+					}
+					backing.WriteLine(la, b)
+				}
+			}
+		}()
+	}
 	for id := 0; id < *clients; id++ {
 		wg.Add(1)
 		go func(id int) {
@@ -212,6 +325,9 @@ func main() {
 				set := setOf(addr)
 				if rng.Intn(5) < 2 { // 40% writes
 					val := byte(rng.Intn(256))
+					if rec != nil {
+						rec.Write(id, addr, val)
+					}
 					// Capture the epoch BEFORE the write: a degrade racing
 					// the write then shows an advance, never a stale record.
 					e0 := cache.LossEpoch(set)
@@ -226,6 +342,9 @@ func main() {
 					continue
 				}
 				want, tracked := shadow[addr]
+				if rec != nil {
+					rec.Read(id, addr)
+				}
 				got, err := eng.Read(addr, 1)
 				if err != nil {
 					// The ladder itself gave up — still a *reported* DUE,
@@ -283,6 +402,15 @@ func main() {
 	<-statsDone
 	if err := eng.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "soak: final flush:", err)
+	}
+	if rec != nil {
+		// The replayer performs its own final shadow sweep, so the trace
+		// ends with the last recorded event.
+		if err := rec.SaveFile(*recordPath); err != nil {
+			fmt.Fprintln(os.Stderr, "soak: record:", err)
+		} else {
+			fmt.Printf("soak: recorded %d events to %s\n", len(rec.Trace().Events), *recordPath)
+		}
 	}
 
 	if interrupted {

@@ -1,0 +1,94 @@
+// Tracehunt searches seeded deterministic storm traces for silent
+// corruptions and ddmin-shrinks the first failure to a minimal
+// committable regression trace. This is the offline half of the
+// record/replay harness: where cmd/soak -record captures a live
+// concurrent run, tracehunt explores the deterministic workload space
+// directly — every seed is a complete, replayable experiment.
+//
+//	go run ./cmd/tracehunt -seeds 1:200 -out internal/replay/testdata/found.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twodcache/internal/replay"
+)
+
+func main() {
+	var (
+		seedRange  = flag.String("seeds", "1:100", "inclusive seed range start:end to search")
+		ops        = flag.Int("ops", 0, "client ops per trace (0 = hard-storm default)")
+		faultEvery = flag.Int("fault-every", 0, "client ops per fault event (0 = default)")
+		scrubEvery = flag.Int("scrub-every", 0, "client ops per scrub sweep (0 = default)")
+		out        = flag.String("out", "", "write the shrunk failing trace here")
+		rawOut     = flag.String("raw-out", "", "also write the unshrunk failing trace here")
+		noShrink   = flag.Bool("no-shrink", false, "stop at the first failure without shrinking")
+	)
+	flag.Parse()
+
+	var lo, hi int64
+	if _, err := fmt.Sscanf(*seedRange, "%d:%d", &lo, &hi); err != nil {
+		fmt.Fprintln(os.Stderr, "tracehunt: bad -seeds (want start:end):", err)
+		os.Exit(2)
+	}
+	p := replay.HardStormParams()
+	if *ops > 0 {
+		p.Ops = *ops
+	}
+	if *faultEvery > 0 {
+		p.FaultEvery = *faultEvery
+	}
+	if *scrubEvery > 0 {
+		p.ScrubEvery = *scrubEvery
+	}
+
+	fails := func(tr replay.Trace) bool {
+		res, err := replay.Run(tr)
+		return err == nil && res.Silent > 0
+	}
+
+	for seed := lo; seed <= hi; seed++ {
+		tr := replay.Generate(seed, p)
+		res, err := replay.Run(tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracehunt: replay:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("seed %d: %d events, %d ops, silent=%d accounted=%d reported=%d\n",
+			seed, len(tr.Events), res.Ops, res.Silent, res.Accounted, res.Reported)
+		if res.Silent == 0 {
+			continue
+		}
+		fmt.Printf("seed %d FAILS:\n  %s\n", seed, strings.Join(res.SilentDetails, "\n  "))
+		if *rawOut != "" {
+			if err := tr.SaveFile(*rawOut); err != nil {
+				fmt.Fprintln(os.Stderr, "tracehunt:", err)
+				os.Exit(2)
+			}
+			fmt.Println("tracehunt: raw failing trace →", *rawOut)
+		}
+		if *noShrink {
+			os.Exit(1)
+		}
+		fmt.Println("tracehunt: shrinking...")
+		shrunk := replay.Shrink(tr, fails)
+		res, _ = replay.Run(shrunk)
+		fmt.Printf("tracehunt: shrunk %d → %d events (silent=%d)\n",
+			len(tr.Events), len(shrunk.Events), res.Silent)
+		for _, d := range res.SilentDetails {
+			fmt.Println("  " + d)
+		}
+		if *out != "" {
+			if err := shrunk.SaveFile(*out); err != nil {
+				fmt.Fprintln(os.Stderr, "tracehunt:", err)
+				os.Exit(2)
+			}
+			fmt.Println("tracehunt: shrunk trace →", *out)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("tracehunt: no silent corruption found in seed range")
+}

@@ -48,6 +48,9 @@ func Fig4(opt Options) Table {
 			Rows: 256, WordsPerRow: 4,
 			Horizontal:     ecc.MustEDC(64, 8),
 			VerticalGroups: 32,
+			// The walkthrough reproduces Fig. 4 under the paper's
+			// declared fault model (clusters/column failures).
+			AssumeClusteredFaults: true,
 		})
 		for r := 0; r < a.Rows(); r++ {
 			for w := 0; w < 4; w++ {

@@ -64,9 +64,16 @@ type twoDInstance struct {
 	golden *bitvec.Matrix
 }
 
-// New prepares a randomly-filled 2D array instance.
+// New prepares a randomly-filled 2D array instance. Campaigns measure
+// the paper's coverage claims under its declared fault model (column
+// failures and contiguous clusters), so the instance enables the
+// fault-model-trusting column solve (twod.Config.AssumeClusteredFaults)
+// regardless of the caller's setting; online caches keep the strict
+// default.
 func (s TwoDScheme) New(rng *rand.Rand) Instance {
-	a := twod.MustArray(s.Cfg)
+	cfg := s.Cfg
+	cfg.AssumeClusteredFaults = true
+	a := twod.MustArray(cfg)
 	k := s.Cfg.Horizontal.DataBits()
 	for r := 0; r < a.Rows(); r++ {
 		for w := 0; w < s.Cfg.WordsPerRow; w++ {
@@ -192,14 +199,22 @@ func CoverageMatrix(s Scheme, rng *rand.Rand, heights, widths []int, trials int)
 	return out
 }
 
-// cellSeed derives the per-cell rng seed: a 64-bit mix (splitmix64
-// finalizer) of the campaign base seed with the cell footprint, so
-// nearby (h, w) pairs land on uncorrelated streams.
-func cellSeed(base int64, h, w int) int64 {
-	z := uint64(base) ^ uint64(h)<<32 ^ uint64(w)
+// DeriveSeed mixes a base seed with a stream index through the
+// splitmix64 finalizer, so consumers that need many independent
+// deterministic rng streams (per-cell campaign rngs, per-client replay
+// traces, storm generators) can derive uncorrelated sub-seeds from one
+// user-visible seed instead of sharing a single rand.Source.
+func DeriveSeed(base int64, stream uint64) int64 {
+	z := uint64(base) ^ stream
 	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
 	z = (z ^ z>>27) * 0x94d049bb133111eb
 	return int64(z ^ z>>31)
+}
+
+// cellSeed derives the per-cell rng seed from the cell footprint, so
+// nearby (h, w) pairs land on uncorrelated streams.
+func cellSeed(base int64, h, w int) int64 {
+	return DeriveSeed(base, uint64(h)<<32^uint64(w))
 }
 
 func randWord(rng *rand.Rand, k int) *bitvec.Vector {

@@ -2,6 +2,7 @@ package pcache
 
 import (
 	"errors"
+	"sync"
 	"testing"
 )
 
@@ -218,4 +219,66 @@ func TestScrubBankReportsVictims(t *testing.T) {
 	if ok, _ := c.ScrubBank(0); !ok {
 		t.Fatal("bank still inconsistent after retiring victims")
 	}
+}
+
+// TestLossEpochBumpBeforeExpose pins the ordering contract of every
+// lossEpochs.Add site (Repair, Decommission — both under the bank
+// lock, both before any content is destroyed): no observer may ever
+// see reverted content alongside a stale epoch. The check is the soak
+// oracle's, run against concurrent wipers: capture the epoch before a
+// write; a read that then returns something else is legitimate only if
+// the epoch has advanced since. Run under -race this also exercises
+// the epoch/wipe memory ordering.
+func TestLossEpochBumpBeforeExpose(t *testing.T) {
+	back := NewMapBacking(64)
+	c := MustNew(Config{Sets: 4, Ways: 2, LineBytes: 64, Banks: 1}, back)
+	const addr = 0 // line 0 → set 0
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Wiper 1: machine-check repairs of the set.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			c.Repair(addr)
+		}
+	}()
+	// Wiper 2: decommission/reenable cycles over the set's ways.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			way := i % 2
+			c.Decommission(0, way)
+			c.Reenable(0, way)
+		}
+	}()
+
+	for i := 0; i < 20000; i++ {
+		val := byte(i)
+		e0 := c.LossEpoch(0)
+		if err := c.Write(addr, []byte{val}); err != nil {
+			continue // set fully decommissioned at that instant
+		}
+		got, err := c.Read(addr, 1)
+		if err != nil {
+			continue
+		}
+		if got[0] != val && c.LossEpoch(0) == e0 {
+			t.Fatalf("iteration %d: content reverted (got %#x want %#x) with the loss epoch unmoved", i, got[0], val)
+		}
+	}
+	close(done)
+	wg.Wait()
 }

@@ -626,6 +626,23 @@ func (c *Cache) fillLocked(b *bank, ls int, line uint64) (way int, ok bool, err 
 		c.backing.WriteLine(oldLine<<c.lineShift, b.lineBuf)
 		c.writebacks.Add(1)
 	}
+	if old&tagValidBit != 0 {
+		// Invalidate the victim's tag BEFORE overwriting its line.
+		// writeLineLocked can abort part-way (overwriting a word with
+		// unrepairable latent damage stores the new value but reports
+		// uncorrectable), leaving a torn mix of old and new words that
+		// each check clean. Behind the stale valid(+dirty) tag, a later
+		// eviction would write that torn line back to the OLD address
+		// with no loss-epoch bump — silent corruption of the backing
+		// store. Invalidated first, an aborted fill leaves only an
+		// empty way; the old line's next reader refetches from backing,
+		// which the writeback above has made current. Even if this tag
+		// write itself reports uncorrectable, the zero value has been
+		// stored raw, so the way still reads as invalid.
+		if err := c.writeTagLocked(b, ls, way, 0); err != nil {
+			return 0, true, err
+		}
+	}
 	if err := c.writeLineLocked(b, ls, way, c.backing.ReadLine(line<<c.lineShift)); err != nil {
 		return 0, true, err
 	}
@@ -844,19 +861,25 @@ func (c *Cache) flushBank(b *bank) error {
 // Repair recovers from an uncorrectable error the way an OS handles a
 // cache machine check: every line in the address's set is invalidated
 // and its storage force-cleared (unflushed dirty contents of that set
-// are lost — the detected-but-uncorrectable outcome) and the arrays'
-// parity state is rebuilt. The set's loss epoch advances.
+// are lost — the detected-but-uncorrectable outcome). The set's loss
+// epoch advances.
 func (c *Cache) Repair(addr uint64) {
 	line := c.lineAddr(addr)
 	set := c.setOf(line)
 	b, ls := c.bankOf(set)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	c.wipeSetLocked(b, ls)
+	// Bump-before-expose: the epoch must advance before any cached
+	// content is destroyed, so no observer can ever see reverted data
+	// alongside a stale epoch.
 	c.lossEpochs[set].Add(1)
+	c.wipeSetLocked(b, ls)
 }
 
-// wipeSetLocked force-clears every way of the local set.
+// wipeSetLocked force-clears every way of the local set, then flushes
+// any parity residues the raw-delta force-writes left behind in groups
+// that now check clean (groups still holding detected damage keep
+// their mismatch information — see twod.FlushResidualParity).
 func (c *Cache) wipeSetLocked(b *bank, ls int) {
 	for way := 0; way < c.cfg.Ways; way++ {
 		row := c.dataRow(ls, way)
@@ -865,6 +888,8 @@ func (c *Cache) wipeSetLocked(b *bank, ls int) {
 		}
 		b.tags.ForceWriteUint64(ls, way, 0)
 	}
+	b.data.FlushResidualParity()
+	b.tags.FlushResidualParity()
 }
 
 // RepairAll is the whole-cache machine-check handler: every set is
@@ -894,16 +919,20 @@ func (c *Cache) Decommission(set, way int) (lostDirty bool) {
 		// Tag word unreadable: assume the worst.
 		lostDirty = true
 	}
+	// Bump-before-expose: advance the epoch before the way's content is
+	// destroyed (see Repair).
+	c.lossEpochs[set].Add(1)
 	row := c.dataRow(ls, way)
 	for w := 0; w < c.words; w++ {
 		b.data.ForceWriteUint64(row, w, 0)
 	}
 	b.tags.ForceWriteUint64(ls, way, 0)
+	b.data.FlushResidualParity()
+	b.tags.FlushResidualParity()
 	if !b.disabled[idx] {
 		b.disabled[idx] = true
 		c.disabledWays.Add(1)
 	}
-	c.lossEpochs[set].Add(1)
 	if lostDirty {
 		c.dirtyLost.Add(1)
 	}

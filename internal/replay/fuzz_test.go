@@ -1,0 +1,72 @@
+package replay
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReplayVsBacking feeds raw trace text through the parser and the
+// replayer and asserts the soak invariant on whatever parses: no event
+// sequence over in-coverage faults (OpFlip is gated to strike only
+// clean-checking words) may ever reach the SILENT cell of the
+// taxonomy, and replay must be bit-deterministic. OpPoke traces are
+// excluded — corrupting the backing behind the cache's back is the one
+// documented way to force silent, and the expect-silent path is pinned
+// by TestOracleSelfValidation/TestCommittedTraces instead. The corpus
+// seeds with every committed shrunk trace, so the fuzzer starts from
+// event shapes that have actually produced forgeries before.
+func FuzzReplayVsBacking(f *testing.F) {
+	paths, err := filepath.Glob("testdata/*.trace")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := Parse(bytes.NewReader(raw))
+		if err != nil {
+			t.Skip()
+		}
+		// Bound the geometry before building anything: the interesting
+		// state space is event interleavings, not array sizes.
+		c := tr.Cfg
+		if c.Sets <= 0 || c.Sets > 256 || c.Ways <= 0 || c.Ways > 8 ||
+			c.LineBytes <= 0 || c.LineBytes > 256 ||
+			c.Banks <= 0 || c.Banks > 4 ||
+			c.VerticalGroups < 0 || c.VerticalGroups > 64 ||
+			c.SpareRows < 0 || c.SpareRows > 64 ||
+			c.MaxRetries < 0 || c.MaxRetries > 4 ||
+			len(tr.Events) > 2000 {
+			t.Skip()
+		}
+		if tr.ExpectSilent {
+			t.Skip()
+		}
+		for _, e := range tr.Events {
+			if e.Op == OpPoke {
+				t.Skip()
+			}
+		}
+		res, err := Run(tr)
+		if err != nil {
+			t.Skip() // geometry rejected by the cache constructor
+		}
+		if res.Silent > 0 {
+			t.Fatalf("fuzzed trace reached silent corruption: %v", res.SilentDetails)
+		}
+		again, err := Run(tr)
+		if err != nil {
+			t.Fatalf("second replay errored: %v", err)
+		}
+		if again.StateHash != res.StateHash {
+			t.Fatalf("replay not deterministic: %016x != %016x", again.StateHash, res.StateHash)
+		}
+	})
+}

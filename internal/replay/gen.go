@@ -1,0 +1,116 @@
+package replay
+
+import (
+	"math/rand"
+
+	"twodcache/internal/fault"
+	"twodcache/internal/pcache"
+)
+
+// GenParams shapes a generated storm trace: the deterministic,
+// single-threaded analogue of the cmd/soak workload. Time is replaced
+// by operation count — one fault event every FaultEvery client ops,
+// one full scrub sweep every ScrubEvery ops — which mirrors the
+// hard-storm regime (many fault events per scrub) without a clock.
+type GenParams struct {
+	Cfg Config
+	// Ops is the number of client access events.
+	Ops int
+	// Clients is the number of client streams (round-robin).
+	Clients int
+	// FaultEvery inserts one multi-bit fault event per that many client
+	// ops (0 disables faults).
+	FaultEvery int
+	// ScrubEvery inserts one full scrub sweep (all banks) per that many
+	// client ops (0 disables scrubbing).
+	ScrubEvery int
+	// Lines is the client address space in cache lines (default
+	// 4*Sets, the soak's conflict-heavy working set).
+	Lines int
+}
+
+// HardStormParams mirrors the ROADMAP hard-storm soak configuration
+// (`-banks 1 -fault-interval 60us -scrub-interval 10ms`) in operation
+// counts: a single bank, a fault event roughly every 25 client ops and
+// a scrub sweep every ~170 faults' worth of traffic, so multi-row
+// damage accumulates past row-recoverability between sweeps exactly as
+// it does in the live soak.
+func HardStormParams() GenParams {
+	return GenParams{
+		Cfg: Config{
+			Sets: 64, Ways: 4, LineBytes: 64, Banks: 1,
+			VerticalGroups: 32, SpareRows: 8, MaxRetries: 1,
+		},
+		Ops:        12000,
+		Clients:    4,
+		FaultEvery: 25,
+		ScrubEvery: 4000,
+	}
+}
+
+// Generate builds a seeded storm trace. Every random stream — one per
+// client plus the storm — is derived from the seed with the splitmix64
+// discipline (fault.DeriveSeed), so streams are uncorrelated and the
+// trace depends on nothing but (seed, params).
+func Generate(seed int64, p GenParams) Trace {
+	if p.Clients <= 0 {
+		p.Clients = 1
+	}
+	if p.Lines <= 0 {
+		p.Lines = 4 * p.Cfg.Sets
+	}
+	tr := Trace{Cfg: p.Cfg}
+
+	// Geometry for fault placement, via a throwaway cache (the replayer
+	// builds its own): rows and physical row width per sub-array.
+	probe := pcache.MustNew(pcache.Config{
+		Sets: p.Cfg.Sets, Ways: p.Cfg.Ways, LineBytes: p.Cfg.LineBytes,
+		VerticalGroups: p.Cfg.VerticalGroups, SECDEDHorizontal: p.Cfg.SECDED,
+		Banks: p.Cfg.Banks,
+	}, pcache.NewMapBacking(p.Cfg.LineBytes))
+	banks := probe.NumBanks()
+	dataArr, tagArr := probe.BankArrays(0)
+	dataRows, dataBits := dataArr.Rows(), dataArr.RowBits()
+	tagRows, tagBits := tagArr.Rows(), tagArr.RowBits()
+
+	clientRng := make([]*rand.Rand, p.Clients)
+	for i := range clientRng {
+		clientRng[i] = rand.New(rand.NewSource(fault.DeriveSeed(seed, uint64(100+i))))
+	}
+	stormRng := rand.New(rand.NewSource(fault.DeriveSeed(seed, 7)))
+	dist := fault.ModernDist()
+
+	lineBytes := uint64(p.Cfg.LineBytes)
+	for i := 0; i < p.Ops; i++ {
+		id := i % p.Clients
+		rng := clientRng[id]
+		// Disjoint line ownership, like the soak: line % clients == id.
+		l := uint64(rng.Intn((p.Lines+p.Clients-1)/p.Clients))*uint64(p.Clients) + uint64(id)
+		addr := l*lineBytes + uint64(rng.Intn(p.Cfg.LineBytes))
+		if rng.Intn(5) < 2 { // 40% writes
+			tr.Events = append(tr.Events, Event{Op: OpWrite, Client: id, Addr: addr, Val: byte(rng.Intn(256))})
+		} else {
+			tr.Events = append(tr.Events, Event{Op: OpRead, Client: id, Addr: addr})
+		}
+		if p.FaultEvery > 0 && i%p.FaultEvery == p.FaultEvery-1 {
+			bank := stormRng.Intn(banks)
+			hitTags := stormRng.Intn(4) == 0
+			rows, cols := dataRows, dataBits
+			if hitTags {
+				rows, cols = tagRows, tagBits
+			}
+			pat := fault.SoftEvent(stormRng, rows, cols, dist)
+			for _, fl := range pat.Flips {
+				tr.Events = append(tr.Events, Event{
+					Op: OpFlip, Bank: bank, Tags: hitTags, Row: fl.Row, Col: fl.Col,
+				})
+			}
+		}
+		if p.ScrubEvery > 0 && i%p.ScrubEvery == p.ScrubEvery-1 {
+			for b := 0; b < banks; b++ {
+				tr.Events = append(tr.Events, Event{Op: OpScrub, Bank: b})
+			}
+		}
+	}
+	return tr
+}

@@ -1,0 +1,258 @@
+package replay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"twodcache/internal/obs"
+	"twodcache/internal/pcache"
+	"twodcache/internal/resilience"
+	"twodcache/internal/twod"
+)
+
+// Result is the outcome of one replay: the soak's mismatch taxonomy,
+// the flip-gating tallies, and a digest of the final machine state for
+// bit-determinism checks.
+type Result struct {
+	// Accounted counts read mismatches explained by a loss-epoch
+	// advance (a reported repair/decommission moved the data).
+	Accounted uint64
+	// Reported counts DUEs surfaced to the client even after the
+	// escalation ladder (plus failed final flushes).
+	Reported uint64
+	// Silent counts mismatches with the loss epoch unmoved — the
+	// outcome the 2D scheme must never produce.
+	Silent uint64
+	// SilentDetails describes each silent mismatch (bounded).
+	SilentDetails []string
+
+	// FlipsApplied/FlipsSkipped count OpFlip events that were applied
+	// vs gated off (covering word already dirty, or out of range).
+	FlipsApplied, FlipsSkipped uint64
+	// Ops counts client read/write events executed.
+	Ops uint64
+
+	// StateHash digests the final contents of every protected
+	// sub-array (data, tags, and vertical parity planes) and the final
+	// metrics snapshot. Two replays of one trace must agree exactly.
+	StateHash uint64
+
+	// Report is the engine's final health report.
+	Report resilience.Report
+}
+
+const maxSilentDetails = 16
+
+// Run replays the trace single-threaded against a freshly built
+// protected cache + resilience engine and classifies every mismatch
+// with the loss-epoch protocol (the soak's oracle). It is fully
+// deterministic: same trace, same Result, bit for bit.
+func Run(tr Trace) (Result, error) {
+	var res Result
+	cfg := pcache.Config{
+		Sets: tr.Cfg.Sets, Ways: tr.Cfg.Ways, LineBytes: tr.Cfg.LineBytes,
+		VerticalGroups: tr.Cfg.VerticalGroups, SECDEDHorizontal: tr.Cfg.SECDED,
+		Banks: tr.Cfg.Banks,
+	}
+	backing := pcache.NewMapBacking(cfg.LineBytes)
+	cache, err := pcache.New(cfg, backing)
+	if err != nil {
+		return res, err
+	}
+	// Deterministic clock: one tick per reading. Latency histograms and
+	// MTTR then depend only on the event sequence, never on the host.
+	var tick int64
+	clock := func() time.Time {
+		tick++
+		return time.Unix(0, tick*int64(time.Microsecond))
+	}
+	reg := obs.NewRegistry()
+	eng := resilience.New(cache, resilience.Config{
+		MaxRetries: tr.Cfg.MaxRetries,
+		SpareRows:  tr.Cfg.SpareRows,
+		Clock:      clock,
+		Metrics:    reg,
+	})
+	scrubber := eng.NewScrubber(resilience.ScrubberConfig{})
+
+	lineBytes := uint64(cfg.LineBytes)
+	setOf := func(addr uint64) int {
+		return int((addr / lineBytes) % uint64(cfg.Sets))
+	}
+
+	// The oracle: one global shadow of the last value written per
+	// address. Sound because replay is totally ordered — a read must
+	// return the last write unless the set's loss epoch advanced.
+	shadow := map[uint64]byte{}
+	wep := map[uint64]uint64{}
+
+	onError := func(addr uint64) {
+		res.Reported++
+		cache.Repair(addr)
+		delete(shadow, addr)
+	}
+	classify := func(addr uint64, got, want byte, when string) {
+		if cache.LossEpoch(setOf(addr)) == wep[addr] {
+			res.Silent++
+			if len(res.SilentDetails) < maxSilentDetails {
+				res.SilentDetails = append(res.SilentDetails,
+					fmt.Sprintf("silent corruption at %#x%s: got %#x want %#x (loss epoch unmoved)", addr, when, got, want))
+			}
+		} else {
+			res.Accounted++
+		}
+	}
+
+	var buf [1]byte
+	for _, e := range tr.Events {
+		switch e.Op {
+		case OpWrite:
+			res.Ops++
+			set := setOf(e.Addr)
+			// Capture the epoch BEFORE the write, as the soak does: a
+			// degrade racing the write then shows an advance, never a
+			// stale record.
+			e0 := cache.LossEpoch(set)
+			buf[0] = e.Val
+			if err := eng.Write(e.Addr, buf[:1]); err != nil {
+				onError(e.Addr)
+				continue
+			}
+			shadow[e.Addr] = e.Val
+			wep[e.Addr] = e0
+
+		case OpRead:
+			res.Ops++
+			want, tracked := shadow[e.Addr]
+			got, err := eng.Read(e.Addr, 1)
+			if err != nil {
+				onError(e.Addr)
+				continue
+			}
+			if tracked && got[0] != want {
+				classify(e.Addr, got[0], want, "")
+				// Either way the cache's view is now authoritative.
+				shadow[e.Addr] = got[0]
+				wep[e.Addr] = cache.LossEpoch(setOf(e.Addr))
+			}
+
+		case OpFlip:
+			if e.Bank >= cache.NumBanks() {
+				res.FlipsSkipped++
+				continue
+			}
+			cache.WithBankLock(e.Bank, func(data, tags *twod.Array) {
+				a := data
+				if e.Tags {
+					a = tags
+				}
+				if e.Row >= a.Rows() || e.Col >= a.RowBits() {
+					res.FlipsSkipped++
+					return
+				}
+				// Gate exactly like the live storm: strike only words
+				// that currently check clean, so every fault stays
+				// within the horizontal code's guaranteed detection.
+				w, _ := a.Layout().Locate(e.Col)
+				if _, ok := a.TryRead(e.Row, w); !ok {
+					res.FlipsSkipped++
+					return
+				}
+				a.FlipBit(e.Row, e.Col)
+				res.FlipsApplied++
+			})
+
+		case OpScrub:
+			if e.Bank >= cache.NumBanks() {
+				continue
+			}
+			scrubber.SweepBank(e.Bank)
+
+		case OpPoke:
+			// Corrupt the backing store behind the cache's back —
+			// harness self-validation only (see OpPoke docs).
+			lineAddr := e.Addr &^ (lineBytes - 1)
+			line := backing.ReadLine(lineAddr)
+			line[e.Addr%lineBytes] = e.Val
+			backing.WriteLine(lineAddr, line)
+
+		default:
+			return res, fmt.Errorf("replay: unknown op %q", e.Op)
+		}
+	}
+
+	// Final sweep, like the soak's: every tracked byte must still be
+	// explained. Sorted for determinism (map iteration is randomised).
+	addrs := make([]uint64, 0, len(shadow))
+	for a := range shadow {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		want := shadow[addr]
+		got, err := eng.Read(addr, 1)
+		if err != nil {
+			res.Reported++
+			cache.Repair(addr)
+			continue
+		}
+		if got[0] != want {
+			classify(addr, got[0], want, " on final sweep")
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		res.Reported++
+	}
+
+	res.Report = eng.Report()
+	res.StateHash = stateHash(cache, reg)
+	return res, nil
+}
+
+// stateHash digests every bank's data, tag, and vertical-parity planes
+// plus the final metrics snapshot. Bit-exact replay determinism is
+// asserted against this value.
+func stateHash(cache *pcache.Cache, reg *obs.Registry) uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	hashArray := func(a *twod.Array) {
+		m := a.SnapshotData()
+		for r := 0; r < m.Rows(); r++ {
+			for _, w := range m.RowWords(r) {
+				word(w)
+			}
+		}
+		for g := 0; g < a.VerticalGroups(); g++ {
+			for _, w := range a.ParityRowWords(g) {
+				word(w)
+			}
+		}
+	}
+	for i := 0; i < cache.NumBanks(); i++ {
+		data, tags := cache.BankArrays(i)
+		hashArray(data)
+		hashArray(tags)
+	}
+	snap := reg.Snapshot()
+	for _, name := range snap.Names() {
+		h.Write([]byte(name))
+		if c, ok := snap.Counters[name]; ok {
+			word(c)
+		}
+		if g, ok := snap.Gauges[name]; ok {
+			word(uint64(g))
+		}
+		if hs, ok := snap.Histograms[name]; ok {
+			word(hs.Count)
+			word(uint64(hs.Sum))
+		}
+	}
+	return h.Sum64()
+}

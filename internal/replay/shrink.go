@@ -1,0 +1,75 @@
+package replay
+
+// Shrink minimizes a failing trace with delta debugging (ddmin): it
+// repeatedly tries removing chunks of events — halves first, then
+// finer granularity, finishing with a greedy single-event pass — and
+// keeps any reduction for which fails() still holds. fails must be a
+// pure predicate (replay is deterministic, so Run-based predicates
+// are). The returned trace satisfies fails() and is 1-minimal with
+// respect to single-event removal.
+func Shrink(tr Trace, fails func(Trace) bool) Trace {
+	cur := tr.Clone()
+	if !fails(cur) {
+		return cur // not failing: nothing to minimize
+	}
+
+	// ddmin over complements: split into n chunks, try dropping each.
+	n := 2
+	for len(cur.Events) >= 2 {
+		reduced := false
+		chunk := (len(cur.Events) + n - 1) / n
+		for start := 0; start < len(cur.Events); start += chunk {
+			end := start + chunk
+			if end > len(cur.Events) {
+				end = len(cur.Events)
+			}
+			cand := cur.Clone()
+			cand.Events = append(cand.Events[:start:start], cur.Events[end:]...)
+			if len(cand.Events) == 0 {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(cur.Events) {
+			break
+		}
+		n = min(2*n, len(cur.Events))
+	}
+
+	// Greedy 1-minimal pass: drop single events until a fixpoint.
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(cur.Events); i++ {
+			cand := cur.Clone()
+			cand.Events = append(cand.Events[:i:i], cur.Events[i+1:]...)
+			if len(cand.Events) > 0 && fails(cand) {
+				cur = cand
+				again = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,329 @@
+// Package replay is the deterministic fault-trace record/replay
+// harness for the protected cache. A trace is a totally-ordered,
+// seedable sequence of events — client accesses, fault-injector bit
+// flips, scrub sweeps, and (for harness self-validation) raw backing
+// corruptions — over a fixed cache geometry. Replaying a trace
+// re-executes it single-threaded against the real
+// pcache/resilience/twod stack with byte-exact determinism: no wall
+// clock (the engine runs on a counting fake clock), no shared rng
+// (every random stream is derived with the splitmix64 discipline of
+// internal/fault.DeriveSeed), and no goroutines. The same trace always
+// yields the same final array contents, the same counter snapshot, and
+// the same accounted/reported/silent mismatch taxonomy — which makes a
+// failing storm run shrinkable (ddmin, see Shrink) down to a
+// committable regression test.
+//
+// The hard-storm silent-corruption bug that motivated this package
+// (ROADMAP, reproduced pre-fix by testdata/tornfill-shrunk.trace) was
+// pinned with exactly this loop: generate seeded storm traces, replay
+// until one goes silent, shrink, read the minimal event sequence.
+package replay
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Op is the event discriminator (also the leading field of the text
+// serialization).
+type Op byte
+
+const (
+	// OpRead is a 1-byte client read at Addr.
+	OpRead Op = 'r'
+	// OpWrite is a 1-byte client write of Val at Addr.
+	OpWrite Op = 'w'
+	// OpFlip flips one physical bit of a protected sub-array. On
+	// replay the flip is gated exactly like the live storm: it is
+	// applied only if the covering word currently checks clean, so
+	// every injected fault stays horizontally detectable and "zero
+	// silent corruptions" remains a hard invariant, even after the
+	// shrinker has removed surrounding events.
+	OpFlip Op = 'f'
+	// OpScrub runs one scrub sweep over one bank: full 2D recovery
+	// plus graceful degradation of unrepairable ways (the scrubber's
+	// SweepBank).
+	OpScrub Op = 's'
+	// OpPoke corrupts the backing store directly, behind the cache's
+	// back. No real component does this; it exists so the harness can
+	// validate its own taxonomy end to end (a poked byte MUST be
+	// classified silent). Traces that use it declare ExpectSilent.
+	OpPoke Op = 'x'
+)
+
+// Event is one trace step. Which fields are meaningful depends on Op:
+// Read uses Client/Addr; Write and Poke add Val; Flip uses
+// Bank/Tags/Row/Col; Scrub uses Bank.
+type Event struct {
+	Op     Op
+	Client int
+	Addr   uint64
+	Val    byte
+	Bank   int
+	Tags   bool
+	Row    int
+	Col    int
+}
+
+// Config fixes the cache geometry and engine tuning a trace runs
+// against. It is part of the trace file: a trace is meaningless
+// against any other geometry.
+type Config struct {
+	Sets, Ways, LineBytes int
+	Banks                 int
+	VerticalGroups        int
+	SECDED                bool
+	SpareRows             int
+	MaxRetries            int
+}
+
+// Trace is a replayable event sequence.
+type Trace struct {
+	Cfg Config
+	// ExpectSilent marks harness-validation traces (OpPoke) whose
+	// replay MUST report silent corruption; committed regression
+	// traces leave it false and must replay clean.
+	ExpectSilent bool
+	Events       []Event
+}
+
+// Clone deep-copies the trace (the shrinker mutates event slices).
+func (t Trace) Clone() Trace {
+	out := t
+	out.Events = append([]Event(nil), t.Events...)
+	return out
+}
+
+// --- text serialization -------------------------------------------------
+//
+// Line-oriented, git-friendly:
+//
+//	twodtrace v1
+//	config sets=64 ways=4 line=64 banks=1 vgroups=32 secded=0 spares=8 retries=1
+//	expect silent            # only on harness-validation traces
+//	w <client> <addr> <val>  # addr and val in hex
+//	r <client> <addr>
+//	f <bank> <d|t> <row> <col>
+//	s <bank>
+//	x <addr> <val>
+//
+// '#' starts a comment (whole line or trailing); blank lines ignored.
+
+const traceMagic = "twodtrace v1"
+
+// Encode serializes the trace.
+func (t Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, traceMagic)
+	c := t.Cfg
+	fmt.Fprintf(bw, "config sets=%d ways=%d line=%d banks=%d vgroups=%d secded=%d spares=%d retries=%d\n",
+		c.Sets, c.Ways, c.LineBytes, c.Banks, c.VerticalGroups, b2i(c.SECDED), c.SpareRows, c.MaxRetries)
+	if t.ExpectSilent {
+		fmt.Fprintln(bw, "expect silent")
+	}
+	for _, e := range t.Events {
+		switch e.Op {
+		case OpRead:
+			fmt.Fprintf(bw, "r %d %x\n", e.Client, e.Addr)
+		case OpWrite:
+			fmt.Fprintf(bw, "w %d %x %x\n", e.Client, e.Addr, e.Val)
+		case OpFlip:
+			arr := "d"
+			if e.Tags {
+				arr = "t"
+			}
+			fmt.Fprintf(bw, "f %d %s %d %d\n", e.Bank, arr, e.Row, e.Col)
+		case OpScrub:
+			fmt.Fprintf(bw, "s %d\n", e.Bank)
+		case OpPoke:
+			fmt.Fprintf(bw, "x %x %x\n", e.Addr, e.Val)
+		default:
+			return fmt.Errorf("replay: unknown op %q", e.Op)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the trace to path.
+func (t Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Parse reads a trace from r, validating the header and every event
+// line. It is deliberately strict: a trace that parses is a trace that
+// replays.
+func Parse(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var t Trace
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if line != "" {
+				return line, true
+			}
+		}
+		return "", false
+	}
+	line, ok := next()
+	if !ok || line != traceMagic {
+		return t, fmt.Errorf("replay: line %d: missing %q header", lineNo, traceMagic)
+	}
+	line, ok = next()
+	if !ok || !strings.HasPrefix(line, "config ") {
+		return t, fmt.Errorf("replay: line %d: missing config line", lineNo)
+	}
+	if err := parseConfig(line, &t.Cfg); err != nil {
+		return t, fmt.Errorf("replay: line %d: %v", lineNo, err)
+	}
+	for {
+		line, ok = next()
+		if !ok {
+			break
+		}
+		if line == "expect silent" {
+			t.ExpectSilent = true
+			continue
+		}
+		ev, err := parseEvent(line)
+		if err != nil {
+			return t, fmt.Errorf("replay: line %d: %v", lineNo, err)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// ParseFile reads a trace file.
+func ParseFile(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func parseConfig(line string, c *Config) error {
+	for _, kv := range strings.Fields(line)[1:] {
+		k, v, found := strings.Cut(kv, "=")
+		if !found {
+			return fmt.Errorf("bad config field %q", kv)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad config value %q: %v", kv, err)
+		}
+		switch k {
+		case "sets":
+			c.Sets = n
+		case "ways":
+			c.Ways = n
+		case "line":
+			c.LineBytes = n
+		case "banks":
+			c.Banks = n
+		case "vgroups":
+			c.VerticalGroups = n
+		case "secded":
+			c.SECDED = n != 0
+		case "spares":
+			c.SpareRows = n
+		case "retries":
+			c.MaxRetries = n
+		default:
+			return fmt.Errorf("unknown config key %q", k)
+		}
+	}
+	return nil
+}
+
+func parseEvent(line string) (Event, error) {
+	f := strings.Fields(line)
+	var e Event
+	argc := map[Op]int{OpRead: 3, OpWrite: 4, OpFlip: 5, OpScrub: 2, OpPoke: 3}
+	if len(f[0]) != 1 {
+		return e, fmt.Errorf("unknown op %q", f[0])
+	}
+	e.Op = Op(f[0][0])
+	want, ok := argc[e.Op]
+	if !ok {
+		return e, fmt.Errorf("unknown op %q", f[0])
+	}
+	if len(f) != want {
+		return e, fmt.Errorf("op %q wants %d fields, got %d", f[0], want, len(f))
+	}
+	atoi := func(s string) (int, error) { return strconv.Atoi(s) }
+	hex64 := func(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+	var err error
+	switch e.Op {
+	case OpRead:
+		if e.Client, err = atoi(f[1]); err == nil {
+			e.Addr, err = hex64(f[2])
+		}
+	case OpWrite:
+		if e.Client, err = atoi(f[1]); err == nil {
+			if e.Addr, err = hex64(f[2]); err == nil {
+				var v uint64
+				v, err = strconv.ParseUint(f[3], 16, 8)
+				e.Val = byte(v)
+			}
+		}
+	case OpFlip:
+		if e.Bank, err = atoi(f[1]); err == nil {
+			switch f[2] {
+			case "d":
+			case "t":
+				e.Tags = true
+			default:
+				return e, fmt.Errorf("flip array %q (want d or t)", f[2])
+			}
+			if e.Row, err = atoi(f[3]); err == nil {
+				e.Col, err = atoi(f[4])
+			}
+		}
+	case OpScrub:
+		e.Bank, err = atoi(f[1])
+	case OpPoke:
+		if e.Addr, err = hex64(f[1]); err == nil {
+			var v uint64
+			v, err = strconv.ParseUint(f[2], 16, 8)
+			e.Val = byte(v)
+		}
+	}
+	if err != nil {
+		return e, fmt.Errorf("bad event %q: %v", line, err)
+	}
+	if e.Client < 0 || e.Bank < 0 || e.Row < 0 || e.Col < 0 {
+		return e, fmt.Errorf("negative field in %q", line)
+	}
+	return e, nil
+}

@@ -101,14 +101,10 @@ func (s *Scrubber) Sweep() bool {
 	clean := true
 	retired := 0
 	for i := 0; i < c.NumBanks(); i++ {
-		ok, victims := c.ScrubBank(i)
+		ok, n := s.SweepBank(i)
 		if !ok {
 			clean = false
-			for _, v := range victims {
-				s.engine.scrubVictims.Inc()
-				retired++
-				s.engine.Degrade(v.Set, v.Way)
-			}
+			retired += n
 		}
 	}
 	d := s.clock().Sub(start)
@@ -116,6 +112,24 @@ func (s *Scrubber) Sweep() bool {
 	s.engine.scrubLatency.Observe(d)
 	s.engine.sink.ScrubPass(c.NumBanks(), clean, retired, d)
 	return clean
+}
+
+// SweepBank scrubs one bank: full 2D recovery, then graceful
+// degradation of every way the recovery could not repair. It reports
+// whether the bank checked (or was repaired) clean, and how many ways
+// were retired. The deterministic replay harness drives scrubbing
+// through this entry point so a replayed scrub event performs exactly
+// the sweep a live scrubber would.
+func (s *Scrubber) SweepBank(i int) (clean bool, retired int) {
+	ok, victims := s.engine.cache.ScrubBank(i)
+	if ok {
+		return true, 0
+	}
+	for _, v := range victims {
+		s.engine.scrubVictims.Inc()
+		s.engine.Degrade(v.Set, v.Way)
+	}
+	return false, len(victims)
 }
 
 // Run sweeps until ctx is cancelled, returning ctx.Err(). Between

@@ -23,6 +23,24 @@ type Config struct {
 	// rows: data row r accumulates into parity row r mod V. The paper's
 	// EDC32 vertical code is V = 32.
 	VerticalGroups int
+	// AssumeClusteredFaults declares the paper's fault model — errors
+	// form contiguous column clusters (manufacturing column failures,
+	// particle-strike clusters) — and lets column-mode recovery trust
+	// it: suspect columns are pooled across ALL vertical groups and
+	// each faulty word is solved over that pool, as in Fig. 4(b). Under
+	// that model the solve is sound, and offline coverage campaigns
+	// (fault.TwoDScheme, the Fig. 3/4 experiments) enable it to
+	// measure the paper's claims. Under arbitrary fault patterns it is
+	// forgeable: same-column pairs cancel out of the parity and
+	// aliasing columns yield unique-looking wrong solutions that check
+	// clean afterwards (see internal/replay/testdata/
+	// {cancelpair,crosscluster,hiddenpair}-shrunk.trace). The default
+	// (false) is the strict evidence discipline — under detection-only
+	// codes a row is repaired from its group mismatch only when it is
+	// the group's sole faulty row, and multi-row groups refuse so the
+	// loss is escalated and accounted. Online caches (pcache) must
+	// leave this false.
+	AssumeClusteredFaults bool
 }
 
 // Validate checks the configuration.
@@ -114,6 +132,18 @@ type Array struct {
 	stats   Stats
 	cwWords int // backing words per codeword scratch
 
+	// residual[g] marks vertical group g as carrying an unattributable
+	// parity residue: a word with unrepairable damage was overwritten by
+	// the raw-delta discipline, leaving the old (unknown) error pattern
+	// in the group's mismatch. Row-mode recovery must refuse to replay a
+	// tainted group's mismatch into any row — residues can combine into
+	// a code-valid pattern that slips past the per-word plausibility
+	// check and forges a clean-looking wrong word. Cleared when the
+	// group's parity is rebuilt from clean data (FlushResidualParity, a
+	// clean Recover pass). Exclusive-path state: guarded by the same
+	// external lock as Write/Recover.
+	residual []bool
+
 	// scr holds the exclusive-path scratch: one codeword buffer for the
 	// access in flight, one for the old word of the read-before-write
 	// delta, and one DataBits-wide staging buffer for encodes.
@@ -151,11 +181,12 @@ func NewArray(cfg Config) (*Array, error) {
 		return nil, err
 	}
 	a := &Array{
-		cfg:     cfgCache{Config: cfg, dataWords: bitvec.WordsFor(cfg.Horizontal.DataBits())},
-		layout:  layout,
-		data:    bitvec.NewMatrix(cfg.Rows, layout.RowBits()),
-		vpar:    bitvec.NewMatrix(cfg.VerticalGroups, layout.RowBits()),
-		cwWords: bitvec.WordsFor(layout.CodewordBits),
+		cfg:      cfgCache{Config: cfg, dataWords: bitvec.WordsFor(cfg.Horizontal.DataBits())},
+		layout:   layout,
+		data:     bitvec.NewMatrix(cfg.Rows, layout.RowBits()),
+		vpar:     bitvec.NewMatrix(cfg.VerticalGroups, layout.RowBits()),
+		cwWords:  bitvec.WordsFor(layout.CodewordBits),
+		residual: make([]bool, cfg.VerticalGroups),
 	}
 	a.scr.cw = make([]uint64, a.cwWords)
 	a.scr.old = make([]uint64, a.cwWords)
@@ -355,18 +386,29 @@ func (a *Array) writeStaged(r, w int) ReadStatus {
 		// Latent error under the write target: repair before computing
 		// the delta, otherwise the corruption would poison the parity.
 		if !a.repairWord(r, w) {
-			// Unrepairable latent damage. A delta against the corrupted
-			// old word would fold its unknown error pattern into the
-			// vertical parity with no faulty word left to flag it; a
-			// later row-mode recovery would then replay that residue
-			// into an innocent row of the group — silent corruption if
-			// the residue happens to be a valid codeword pattern.
-			// Overwrite raw and rebuild parity from the array as it now
-			// stands: rows that remain faulty keep failing their
-			// horizontal check and surface as detected-uncorrectable.
+			// Unrepairable latent damage. Overwrite with the ordinary
+			// delta write against the word's raw stored content. The
+			// delta-against-raw discipline preserves every group's
+			// parity mismatch exactly as it was: the old word's error
+			// pattern stays represented in its own group's mismatch (a
+			// residue with a nonzero horizontal syndrome, which
+			// rowDeltaPlausible refuses to replay into any row), and —
+			// crucially — no OTHER row's vertical recovery information
+			// is touched. Rebuilding the parity from the array as
+			// stored, as this path once did, erases the mismatch of
+			// every still-faulty row in the bank; a later column-mode
+			// recovery then solves those rows' syndromes over an
+			// incomplete suspect set and, when parity columns alias
+			// (EDC8 aliases physical columns mod 8), forges a
+			// valid-looking wrong word — silent corruption. Residues
+			// are flushed once their group checks clean
+			// (FlushResidualParity / a clean Recover pass); until then
+			// the group is marked tainted so row-mode recovery refuses
+			// to replay its mismatch (residues can pair into code-valid
+			// patterns the per-word plausibility check cannot see).
+			a.residual[a.group(r)] = true
 			a.encodeDataInto(a.scr.cw)
-			a.storeRawWords(r, w, a.scr.cw)
-			a.rebuildParity()
+			a.storeWords(r, w, a.scr.cw)
 			a.emitUncorrectable(r, w)
 			return ReadUncorrectable
 		}
@@ -548,37 +590,55 @@ func (a *Array) VerticalGroups() int { return a.cfg.VerticalGroups }
 // campaign-level golden comparisons.
 func (a *Array) SnapshotData() *bitvec.Matrix { return a.data.Clone() }
 
-// ForceWrite overwrites word (r, w) unconditionally — no
-// read-before-write, no integrity check — and rebuilds the vertical
-// parity from scratch. It is the software-visible "reload after an
-// uncorrectable error" path: after data beyond the 2D coverage is
-// detected (a machine-check in real hardware), the OS refetches the
-// line and the array must return to a consistent state regardless of
-// how corrupted it was.
+// ParityRowWords returns a copy of vertical parity row g's backing
+// words. The replay harness digests these (alongside the data plane)
+// so bit-exact determinism covers the parity state too.
+func (a *Array) ParityRowWords(g int) []uint64 {
+	return append([]uint64(nil), a.vpar.RowWords(g)...)
+}
+
+// ForceWrite overwrites word (r, w) unconditionally — no integrity
+// check, no recovery escalation. It is the software-visible "reload
+// after an uncorrectable error" path: after data beyond the 2D
+// coverage is detected (a machine-check in real hardware), the OS
+// refetches the line regardless of how corrupted it was. The vertical
+// parity is updated by delta against the word's raw stored content,
+// which preserves every group's mismatch exactly: if the overwritten
+// word held a detected error, its pattern remains in the group
+// mismatch as a refusable residue, and no other row's vertical
+// recovery information is erased (a full parity rebuild here would
+// destroy the mismatch of every still-faulty row in the array —
+// see writeStaged). Set-wipe callers follow up with
+// FlushResidualParity once the affected groups check clean.
 func (a *Array) ForceWrite(r, w int, data *bitvec.Vector) {
 	if data.Len() != a.DataBits() {
 		panic(fmt.Sprintf("twod: ForceWrite data width %d != %d", data.Len(), a.DataBits()))
 	}
 	atomic.AddUint64(&a.stats.Writes, 1)
+	if a.syndromeAt(r, w) != 0 {
+		a.residual[a.group(r)] = true
+	}
 	copy(a.scr.data, data.Words())
 	a.encodeDataInto(a.scr.cw)
-	a.storeRawWords(r, w, a.scr.cw)
-	a.rebuildParity()
+	a.storeWords(r, w, a.scr.cw)
 }
 
-// ForceWriteUint64 is ForceWrite for DataBits <= 64 without allocating
-// (the parity rebuild still scans the array).
+// ForceWriteUint64 is ForceWrite for DataBits <= 64. Allocation-free,
+// and — since the raw-delta discipline replaced the full parity
+// rebuild — O(codeword), not O(array).
 func (a *Array) ForceWriteUint64(r, w int, v uint64) {
 	k := a.DataBits()
 	if k > 64 {
 		panic(fmt.Sprintf("twod: ForceWriteUint64 on %d-bit words", k))
 	}
 	atomic.AddUint64(&a.stats.Writes, 1)
+	if a.syndromeAt(r, w) != 0 {
+		a.residual[a.group(r)] = true
+	}
 	if k < 64 {
 		v &= 1<<uint(k) - 1
 	}
 	a.scr.data[0] = v
 	a.encodeDataInto(a.scr.cw)
-	a.storeRawWords(r, w, a.scr.cw)
-	a.rebuildParity()
+	a.storeWords(r, w, a.scr.cw)
 }

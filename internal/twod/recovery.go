@@ -1,6 +1,7 @@
 package twod
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"twodcache/internal/bitvec"
@@ -115,9 +116,34 @@ func (a *Array) recoverImpl() RecoveryReport {
 		}
 	}
 
+	// touched[g] records that this recovery applied repairs to data rows
+	// of group g — used below to tell residue flushes apart from wrong
+	// repairs when the parity disagrees after verification.
+	touched := make([]bool, a.cfg.VerticalGroups)
+
 	if !columnMode {
 		rep.Mode = RecoveryRow
+		// Repair rows in ascending order: the repairs commute (disjoint
+		// rows), but a fixed order keeps replayed recoveries bit- and
+		// event-identical to the recorded run (map order is randomised).
+		rows := make([]int, 0, len(faultyRows))
 		for r := range faultyRows {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
+		for _, r := range rows {
+			if a.residual[a.group(r)] {
+				// The group's mismatch carries the residue of an
+				// overwritten unrepairable word — an error pattern of
+				// unknown shape. Even when the per-word syndrome check
+				// below passes, residues can pair into a code-valid
+				// pattern (EDC8 parity columns alias mod 8) riding
+				// along with the row's real error: XOR-ing the
+				// mismatch in would then forge a clean-checking wrong
+				// word. Refuse; escalation handles the row as an
+				// accounted loss.
+				continue
+			}
 			m := mismatch[a.group(r)]
 			if !a.rowDeltaPlausible(r, m) {
 				// The mismatch carries bits the horizontal code cannot
@@ -129,10 +155,11 @@ func (a *Array) recoverImpl() RecoveryReport {
 			}
 			rep.BitsFlipped += m.PopCount()
 			a.data.XorRow(r, m)
+			touched[a.group(r)] = true
 		}
 	} else {
 		rep.Mode = RecoveryColumn
-		if !a.recoverColumns(mismatch, faultyWords, &rep) {
+		if !a.recoverColumns(mismatch, faultyWords, groupCount, touched, &rep) {
 			rep.Mode = RecoveryFailed
 		}
 	}
@@ -151,11 +178,25 @@ func (a *Array) recoverImpl() RecoveryReport {
 	}
 	// Data verified clean; restore the parity invariant if anything is
 	// left inconsistent (e.g. parity rows themselves were struck).
-	if !allZero(a.verticalMismatch()) {
+	if remaining := a.verticalMismatch(); !allZero(remaining) {
 		if rep.InlineFixes > 0 {
 			// Inline ECC corrections that leave the vertical parity
 			// inconsistent indicate a miscorrection (>1 real error in
 			// some word): refuse to mask it.
+			rep.Mode = RecoveryFailed
+			rep.Success = false
+			atomic.AddUint64(&a.stats.Uncorrectable, 1)
+			return rep
+		}
+		for g, m := range remaining {
+			if m.IsZero() || a.residual[g] || !touched[g] {
+				continue
+			}
+			// This recovery wrote into group g, every word now checks
+			// clean, yet the parity still disagrees and no residue
+			// explains it: the repairs themselves must be wrong
+			// (code-valid garbage). Rebuilding here would bake the
+			// forgery into the parity — refuse instead.
 			rep.Mode = RecoveryFailed
 			rep.Success = false
 			atomic.AddUint64(&a.stats.Uncorrectable, 1)
@@ -242,6 +283,8 @@ func (a *Array) verticalMismatch() []*bitvec.Vector {
 }
 
 // rebuildParity recomputes all vertical parity rows from the data.
+// Every residue is gone afterwards, so the taint flags clear with it;
+// callers are responsible for only rebuilding over trustworthy data.
 func (a *Array) rebuildParity() {
 	for g := 0; g < a.cfg.VerticalGroups; g++ {
 		p := a.vpar.Row(g)
@@ -249,16 +292,154 @@ func (a *Array) rebuildParity() {
 		for r := g; r < a.cfg.Rows; r += a.cfg.VerticalGroups {
 			p.Xor(a.data.Row(r))
 		}
+		a.residual[g] = false
 	}
 }
 
-// recoverColumns handles large-scale column failures: the union of the
-// vertical mismatches marks suspect physical columns; each faulty
-// word's syndrome is then solved over its suspect bits via GF(2)
-// elimination (unique solutions only).
-func (a *Array) recoverColumns(mismatch []*bitvec.Vector, faultyWords map[[2]int]uint64, rep *RecoveryReport) bool {
+// recoverColumns handles large-scale column failures — the branch taken
+// when some vertical group holds more than one faulty row.
+//
+// Evidence discipline: a group's parity mismatch is the XOR of its
+// rows' error patterns. With exactly ONE faulty row in the group, the
+// mismatch IS that row's pattern — the same hard evidence row mode
+// uses, so such rows are repaired here with the full row-mode
+// discipline (taint refusal + plausibility). With SEVERAL faulty rows
+// the attribution of mismatch columns to rows is underdetermined, and
+// under a detection-only horizontal code the per-word syndrome adds
+// only an 8-value check that aliases mod 8. Worse, two same-column
+// flips inside the group cancel out of the mismatch entirely, so the
+// visible columns need not even contain the true error: a "unique"
+// GF(2) solution over them can be plain wrong, and the forged state is
+// globally self-consistent — clean words, zero mismatch, consistent
+// multiplicities — hence undetectable after the fact. The true state
+// and the forgery satisfy every observable, so no solver confined to
+// the visible evidence is sound. Shrunk storm traces pinning four
+// escalating variants of this forgery (cross-group borrowing,
+// corroborated borrowing, and same-group aliasing) live in
+// internal/replay/testdata/{cancelpair,crosscluster,hiddenpair}-shrunk.trace.
+//
+// Therefore: under EDC, words in multi-faulty-row groups refuse and
+// escalate to an accounted loss (wipe + reload). With a correcting
+// horizontal code the per-word evidence is strong enough to keep the
+// GF(2) solve (its column space has distance >= 4, so small aliasing
+// dependencies do not exist), with the code's own inline correction as
+// the fallback (Fig. 4(b)'s grey box).
+//
+// Config.AssumeClusteredFaults trades this discipline for the paper's
+// declared fault model: offline coverage campaigns measuring Fig. 3/4
+// claims pool suspect columns across all groups and solve every faulty
+// word over the pool, which is sound when errors really are contiguous
+// column clusters (recoverColumnsClustered).
+func (a *Array) recoverColumns(mismatch []*bitvec.Vector, faultyWords map[[2]int]uint64, groupCount []int, touched []bool, rep *RecoveryReport) bool {
+	if a.cfg.AssumeClusteredFaults {
+		return a.recoverColumnsClustered(mismatch, faultyWords, touched, rep)
+	}
+	h := a.cfg.Horizontal
+	canInline := h.CorrectCapability() > 0
+	ok := true
+
+	// Pass 1 — rows that are the sole faulty row of their group: repair
+	// with row-mode evidence. Ascending order for deterministic replay.
+	var soleRows []int
+	seenRow := make(map[int]bool)
+	for rw := range faultyWords {
+		r := rw[0]
+		if seenRow[r] {
+			continue
+		}
+		seenRow[r] = true
+		if groupCount[a.group(r)] == 1 {
+			soleRows = append(soleRows, r)
+		}
+	}
+	sort.Ints(soleRows)
+	repairedRow := make(map[int]bool)
+	for _, r := range soleRows {
+		g := a.group(r)
+		if a.residual[g] {
+			continue // tainted: fall through to pass 2's fallback
+		}
+		m := mismatch[g]
+		if !a.rowDeltaPlausible(r, m) {
+			continue
+		}
+		rep.BitsFlipped += m.PopCount()
+		a.data.XorRow(r, m)
+		touched[g] = true
+		repairedRow[r] = true
+	}
+
+	// Pass 2 — words in multi-faulty-row groups, plus sole rows refused
+	// above. Row-major order: per-word repairs touch disjoint cells, so
+	// the order is for deterministic replay, not correctness.
+	order := make([][2]int, 0, len(faultyWords))
+	for rw := range faultyWords {
+		order = append(order, rw)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	for _, rw := range order {
+		r, w := rw[0], rw[1]
+		if repairedRow[r] {
+			continue
+		}
+		syn := faultyWords[rw]
+		g := a.group(r)
+		if !canInline || a.residual[g] {
+			// Detection-only code (no sound evidence for this word), or
+			// the group's mismatch carries an overwritten word's residue
+			// (its columns are not trustworthy). Escalation handles the
+			// word as an accounted loss; the inline ECC may still fix it
+			// in the tainted-group case.
+			if !a.tryInline(r, w, canInline, rep) {
+				ok = false
+			}
+			continue
+		}
+		var cand []int
+		for _, c := range mismatch[g].Ones() {
+			if ws, b := a.layout.Locate(c); ws == w {
+				cand = append(cand, b)
+			}
+		}
+		cols := make([]uint64, len(cand))
+		for i, b := range cand {
+			cols[i] = h.ParityColumn(b)
+		}
+		sel, unique := solveGF2(cols, syn)
+		if unique {
+			for i, use := range sel {
+				if use {
+					a.data.Flip(r, a.layout.PhysColumn(w, cand[i]))
+					rep.BitsFlipped++
+					touched[g] = true
+				}
+			}
+			continue
+		}
+		if !a.tryInline(r, w, canInline, rep) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// recoverColumnsClustered is the fault-model-trusting column mode
+// enabled by Config.AssumeClusteredFaults: suspect columns pooled
+// across every untainted group, each faulty word solved over the pool
+// (Fig. 4(b) as published). Sound only under the declared clustered
+// fault model — see recoverColumns for why arbitrary patterns can
+// forge it.
+func (a *Array) recoverColumnsClustered(mismatch []*bitvec.Vector, faultyWords map[[2]int]uint64, touched []bool, rep *RecoveryReport) bool {
 	suspect := bitvec.New(a.layout.RowBits())
-	for _, m := range mismatch {
+	for g, m := range mismatch {
+		if a.residual[g] {
+			continue // residue columns are not fault evidence
+		}
 		suspect.Or(m)
 	}
 	// Group suspect columns by word slot.
@@ -270,8 +451,21 @@ func (a *Array) recoverColumns(mismatch []*bitvec.Vector, faultyWords map[[2]int
 	h := a.cfg.Horizontal
 	canInline := h.CorrectCapability() > 0
 	ok := true
-	for rw, syn := range faultyWords {
+	// Row-major order: repairs touch disjoint cells, so the order is
+	// for deterministic replay, not correctness.
+	order := make([][2]int, 0, len(faultyWords))
+	for rw := range faultyWords {
+		order = append(order, rw)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	for _, rw := range order {
 		r, w := rw[0], rw[1]
+		syn := faultyWords[rw]
 		cand := byWord[w]
 		cols := make([]uint64, len(cand))
 		for i, b := range cand {
@@ -283,27 +477,36 @@ func (a *Array) recoverColumns(mismatch []*bitvec.Vector, faultyWords map[[2]int
 				if use {
 					a.data.Flip(r, a.layout.PhysColumn(w, cand[i]))
 					rep.BitsFlipped++
+					touched[a.group(r)] = true
 				}
 			}
 			continue
 		}
-		// Fall back to the horizontal ECC's own correction — the grey
-		// "ECC correct" box of Fig. 4(b). This handles column failures
-		// invisible to the vertical parity (even flip counts in every
-		// group), which a correcting code localises per word.
-		if canInline {
-			a.extractInto(a.scr.cw, r, w)
-			cw := bitvec.MakeCodeword(a.scr.cw, a.layout.CodewordBits)
-			if res, n := h.DecodeInPlace(cw); res == ecc.Corrected {
-				a.storeRawWords(r, w, a.scr.cw)
-				rep.InlineFixes++
-				rep.BitsFlipped += n
-				continue
-			}
+		if !a.tryInline(r, w, canInline, rep) {
+			ok = false
 		}
-		ok = false
 	}
 	return ok
+}
+
+// tryInline falls back to the horizontal ECC's own correction for one
+// faulty word — the grey "ECC correct" box of Fig. 4(b). This handles
+// column failures invisible to the vertical parity (even flip counts
+// in every group), which a correcting code localises per word.
+func (a *Array) tryInline(r, w int, canInline bool, rep *RecoveryReport) bool {
+	if !canInline {
+		return false
+	}
+	a.extractInto(a.scr.cw, r, w)
+	cw := bitvec.MakeCodeword(a.scr.cw, a.layout.CodewordBits)
+	res, n := a.cfg.Horizontal.DecodeInPlace(cw)
+	if res != ecc.Corrected {
+		return false
+	}
+	a.storeRawWords(r, w, a.scr.cw)
+	rep.InlineFixes++
+	rep.BitsFlipped += n
+	return true
 }
 
 // solveGF2 finds x with sum_{i: x_i} cols[i] == target over GF(2).
@@ -381,6 +584,57 @@ func solveGF2(cols []uint64, target uint64) (sel []bool, unique bool) {
 		}
 	}
 	return sel, true
+}
+
+// FlushResidualParity rebuilds the vertical parity row of every group
+// whose data rows all check clean horizontally but whose stored parity
+// disagrees with the data. Such residues are the deliberate leftovers
+// of the raw-delta overwrite discipline (writeStaged's uncorrectable
+// branch, ForceWrite): when an unrepairable word is overwritten, its
+// old error pattern stays in its group's mismatch instead of a full
+// parity rebuild erasing every other faulty row's recovery
+// information. A lone residue has a nonzero horizontal syndrome and is
+// refused by rowDeltaPlausible, but residues left to accumulate can
+// combine into a code-valid pattern that a later row-mode repair would
+// replay into a genuinely faulty row — which is why residue-carrying
+// groups are tainted (row-mode recovery refuses them outright) and why
+// wipe paths call this once the damage they were handling is cleared:
+// flushing retires the residue and lifts the taint, restoring full
+// row-mode recoverability for the group. Groups still containing
+// detected faulty words keep their mismatch (and taint) untouched.
+// Returns the number of groups flushed. Caller must hold the array's
+// external exclusive lock, as for Recover.
+func (a *Array) FlushResidualParity() int {
+	flushed := 0
+	for g := 0; g < a.cfg.VerticalGroups; g++ {
+		m := a.vpar.Row(g).Clone()
+		clean := true
+		for r := g; r < a.cfg.Rows && clean; r += a.cfg.VerticalGroups {
+			m.Xor(a.data.Row(r))
+			for w := 0; w < a.cfg.WordsPerRow; w++ {
+				if a.syndromeAt(r, w) != 0 {
+					clean = false
+					break
+				}
+			}
+		}
+		if !clean {
+			continue
+		}
+		// Every word of the group checks clean: any residue is now
+		// retired (rebuilt away below) and the taint lifts.
+		a.residual[g] = false
+		if m.IsZero() {
+			continue
+		}
+		p := a.vpar.Row(g)
+		p.Zero()
+		for r := g; r < a.cfg.Rows; r += a.cfg.VerticalGroups {
+			p.Xor(a.data.Row(r))
+		}
+		flushed++
+	}
+	return flushed
 }
 
 func allZero(vs []*bitvec.Vector) bool {

@@ -88,17 +88,89 @@ func TestRecoverSparseClusterPattern(t *testing.T) {
 }
 
 func TestRecoverColumnFailure(t *testing.T) {
-	// A full column failure spans all 256 rows — far more than 32 —
-	// and must be repaired via the column-localisation path.
+	// A column failure spanning a full interleave period (32 rows, one
+	// per vertical group) is repaired from row evidence: each group's
+	// mismatch is exactly its sole faulty row's pattern. Under a
+	// detection-only horizontal code this is the ONLY sound evidence —
+	// see TestRecoverColumnFailureMultiHitGroupRefusedEDC for why
+	// deeper columns cannot be repaired under EDC.
 	a := small8kb(t)
 	rng := rand.New(rand.NewSource(14))
 	fillRandom(a, rng)
 	golden := a.SnapshotData()
 	col := 123
-	for r := 0; r < a.Rows(); r++ {
-		if rng.Intn(2) == 1 { // stuck-at flips ~half the cells
-			a.FlipBit(r, col)
+	for r := 0; r < 32; r++ { // one row per group (group(r) = r mod 32)
+		a.FlipBit(r, col)
+	}
+	rep := recoverAndCompare(t, a, golden, true)
+	if rep.Mode != RecoveryRow {
+		t.Fatalf("mode = %v, want row reconstruction", rep.Mode)
+	}
+}
+
+func TestRecoverColumnFailureMultiHitGroupRefusedEDC(t *testing.T) {
+	// Three hits of one column inside one vertical group: the group's
+	// mismatch carries the column (odd count), and a GF(2) solve over
+	// it would even be "unique" — but the evidence is indistinguishable
+	// from one genuine hit plus a cancelled same-column pair hiding an
+	// error at a DIFFERENT, syndrome-aliasing column (EDC8 syndromes
+	// repeat mod 8). Both states satisfy every observable; repairing
+	// would forge in the latter (the storm found exactly this shape —
+	// internal/replay/testdata/hiddenpair-shrunk.trace). Under EDC the
+	// multi-hit group must refuse, untouched; sole-hit groups repair.
+	a := small8kb(t)
+	rng := rand.New(rand.NewSource(14))
+	fillRandom(a, rng)
+	golden := a.SnapshotData()
+	col := 123
+	for r := 0; r < 32; r++ { // one row per group (group(r) = r mod 32)
+		a.FlipBit(r, col)
+	}
+	for _, r := range []int{32, 64} { // two more hits in group 0: 3 total
+		a.FlipBit(r, col)
+	}
+	withErrors := a.SnapshotData()
+
+	rep := a.Recover()
+	if rep.Success {
+		t.Fatal("recovery claimed success over a multi-hit group under EDC")
+	}
+	snap := a.SnapshotData()
+	for _, r := range []int{0, 32, 64} {
+		if !snap.Row(r).Equal(withErrors.Row(r)) {
+			t.Fatalf("row %d modified by refused recovery", r)
 		}
+	}
+	for r := 1; r < 32; r++ { // sole-hit groups repaired from row evidence
+		if !snap.Row(r).Equal(golden.Row(r)) {
+			t.Fatalf("sole-hit row %d not repaired", r)
+		}
+	}
+}
+
+func TestRecoverColumnFailureMultiHitGroupClusteredModel(t *testing.T) {
+	// The exact scenario the strict discipline refuses above becomes
+	// recoverable once the caller declares the paper's fault model:
+	// with AssumeClusteredFaults the multi-hit column IS the fault, so
+	// pooling suspect columns across groups and solving each faulty
+	// word over the pool (Fig. 4(b) as published) is sound. Offline
+	// coverage campaigns (fault.TwoDScheme, Fig. 3/4) run in this mode.
+	a := MustArray(Config{
+		Rows:                  256,
+		WordsPerRow:           4,
+		Horizontal:            ecc.MustEDC(64, 8),
+		VerticalGroups:        32,
+		AssumeClusteredFaults: true,
+	})
+	rng := rand.New(rand.NewSource(14))
+	fillRandom(a, rng)
+	golden := a.SnapshotData()
+	col := 123
+	for r := 0; r < 32; r++ {
+		a.FlipBit(r, col)
+	}
+	for _, r := range []int{32, 64} { // group 0 gets 3 hits
+		a.FlipBit(r, col)
 	}
 	rep := recoverAndCompare(t, a, golden, true)
 	if rep.Mode != RecoveryColumn {
@@ -106,21 +178,66 @@ func TestRecoverColumnFailure(t *testing.T) {
 	}
 }
 
+func TestRecoverColumnFailureEvenHitGroupRefused(t *testing.T) {
+	// Two hits of one column inside one vertical group cancel out of
+	// the group's parity mismatch: the vertical code carries zero
+	// evidence about either row. Under a detection-only horizontal
+	// code the repair would be a pure guess (an 8-value syndrome check
+	// aliases mod 8), so recovery must refuse — loudly, without
+	// touching any row — rather than forge. (Borrowing the column from
+	// another group's mismatch is exactly the forgery pinned by
+	// internal/replay/testdata/cancelpair-shrunk.trace.)
+	a := small8kb(t)
+	rng := rand.New(rand.NewSource(15))
+	fillRandom(a, rng)
+	col := 123
+	a.FlipBit(0, col)
+	a.FlipBit(32, col) // same group (V=32), same column: cancels
+	// An odd-hit group alongside, so the column IS visible elsewhere —
+	// it must still not be borrowed into group 0.
+	a.FlipBit(1, col)
+	withErrors := a.SnapshotData()
+
+	rep := a.Recover()
+	if rep.Success {
+		t.Fatal("recovery claimed success over a cancelled same-column pair under EDC")
+	}
+	// Row 1 (odd-hit group) may legitimately be repaired; rows 0 and 32
+	// must not have been touched at all.
+	snap := a.SnapshotData()
+	for _, r := range []int{0, 32} {
+		if !snap.Row(r).Equal(withErrors.Row(r)) {
+			t.Fatalf("row %d modified by refused recovery", r)
+		}
+	}
+}
+
 func TestRecoverMultipleColumnFailures(t *testing.T) {
 	// Several adjacent failing columns (e.g. a defective column-mux
-	// region) — still within horizontal coverage.
-	a := small8kb(t)
+	// region), each hitting some groups more than once. A correcting
+	// horizontal code (SECDED) keeps the GF(2) column solve sound (its
+	// column space has distance >= 4: no small aliasing dependencies),
+	// with inline correction as the per-word fallback.
+	a := MustArray(Config{
+		Rows:           256,
+		WordsPerRow:    4,
+		Horizontal:     ecc.MustSECDED(64),
+		VerticalGroups: 32,
+	})
 	rng := rand.New(rand.NewSource(15))
 	fillRandom(a, rng)
 	golden := a.SnapshotData()
 	for _, col := range []int{60, 61, 62, 63} {
-		for r := 0; r < a.Rows(); r++ {
-			if rng.Intn(2) == 1 {
-				a.FlipBit(r, col)
-			}
+		for r := 0; r < 32; r++ { // one row per group
+			a.FlipBit(r, col)
 		}
+		a.FlipBit(32, col) // plus a third hit in group 0
+		a.FlipBit(64, col)
 	}
-	recoverAndCompare(t, a, golden, true)
+	rep := recoverAndCompare(t, a, golden, true)
+	if rep.Mode != RecoveryColumn {
+		t.Fatalf("mode = %v, want column localisation", rep.Mode)
+	}
 }
 
 func TestRecoverFullStuckColumnSECDED(t *testing.T) {

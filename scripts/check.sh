@@ -9,6 +9,11 @@
 # the obs registry) and the kernel layer they are built on (bitvec word
 # views, ecc scratch pools); -full extends it to the whole module.
 #
+# The replay gate re-runs every committed fault trace in
+# internal/replay/testdata/ (each one is a shrunk, once-silent storm
+# run) through the deterministic replayer; -full repeats them under
+# -race and adds the cmd/soak exit-code contract.
+#
 # staticcheck runs when the binary is on PATH and is skipped with a
 # warning otherwise, so the gate tightens automatically on machines
 # that have it without breaking minimal containers.
@@ -34,9 +39,15 @@ echo "== go build ./..."
 go build ./...
 echo "== go test ./..."
 go test ./...
+echo "== replay gate (committed fault traces)"
+go test ./internal/replay/ -run 'TestCommittedTraces'
 if [ "${1:-}" = "-full" ]; then
     echo "== go test -race ./... (full)"
     go test -race ./...
+    echo "== replay gate under -race (full)"
+    go test -race ./internal/replay/ -run 'TestCommittedTraces'
+    echo "== cmd/soak exit-code contract (full)"
+    sh scripts/test_soak_exit.sh
 else
     echo "== go test -race (concurrency-hardened packages + kernel layer)"
     go test -race ./internal/bitvec/ ./internal/ecc/ ./internal/twod/ ./internal/pcache/ ./internal/resilience/ ./internal/obs/

@@ -1,0 +1,70 @@
+#!/bin/sh
+# test_soak_exit.sh — the exit-code contract of cmd/soak.
+#
+# A soak run that detects silent corruption MUST exit non-zero, in
+# every mode: a live run, a live run interrupted by SIGINT mid-failure
+# (the drain still reports and fails), and a deterministic -replay of a
+# trace that goes silent. Healthy runs and expect-silent
+# self-validation traces exit 0. CI treats a zero exit from a corrupted
+# run as the worst possible outcome — this script pins the contract.
+set -u
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+bin="$tmp/soak"
+go build -o "$bin" ./cmd/soak || exit 1
+
+fail() {
+    echo "test_soak_exit: FAIL: $*" >&2
+    exit 1
+}
+
+# 1. Replay of a committed regression trace replays clean -> exit 0.
+"$bin" -replay internal/replay/testdata/tornfill-shrunk.trace >/dev/null \
+    || fail "clean replay exited $?"
+
+# 2. The self-validation trace declares "expect silent" and must go
+#    silent -> exit 0.
+"$bin" -replay internal/replay/testdata/selftest-silent.trace >/dev/null \
+    || fail "expect-silent replay exited $?"
+
+# 3. The same trace with the declaration stripped: the silent
+#    classification now counts as a failure -> exit 1.
+grep -v '^expect silent$' internal/replay/testdata/selftest-silent.trace >"$tmp/silent.trace"
+"$bin" -replay "$tmp/silent.trace" >/dev/null 2>&1
+st=$?
+[ "$st" -eq 1 ] || fail "silent replay exited $st (want 1)"
+
+# 4. Live failing run: the backing store is corrupted behind the
+#    cache's back (storm slowed so no loss epoch ever moves) -> exit 1
+#    with the FAIL banner. -ways 2 oversubscribes the cache so evicted
+#    lines refill from the poisoned backing.
+out=$("$bin" -duration 1s -ways 2 -selftest-corrupt-backing -fault-interval 10s -stats-interval 0 2>&1)
+st=$?
+[ "$st" -eq 1 ] || fail "live failing run exited $st (want 1)"
+case "$out" in
+*"FAIL — silent corruption detected"*) ;;
+*) fail "live failing run printed no FAIL banner" ;;
+esac
+
+# 5. SIGINT during a failing run: workers drain, the report prints, and
+#    the exit code still says failure.
+"$bin" -duration 60s -ways 2 -selftest-corrupt-backing -fault-interval 10s -stats-interval 0 >/dev/null 2>&1 &
+pid=$!
+sleep 2
+kill -INT "$pid"
+wait "$pid"
+st=$?
+[ "$st" -eq 1 ] || fail "interrupted failing run exited $st (want 1)"
+
+# 6. SIGINT during a healthy run drains and exits 0.
+"$bin" -duration 60s -banks 1 -stats-interval 0 >/dev/null 2>&1 &
+pid=$!
+sleep 2
+kill -INT "$pid"
+wait "$pid"
+st=$?
+[ "$st" -eq 0 ] || fail "interrupted healthy run exited $st (want 0)"
+
+echo "test_soak_exit: OK"
