@@ -19,12 +19,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -96,6 +98,9 @@ func main() {
 		recordPath    = flag.String("record", "", "record the run's event trace to this file (order is exact with -banks 1, best-effort otherwise)")
 		replayPath    = flag.String("replay", "", "deterministically replay a recorded or shrunk trace instead of running live (load/fault flags are ignored)")
 		selftestPoke  = flag.Bool("selftest-corrupt-backing", false, "harness self-validation: continuously corrupt the backing store behind the cache's back; the run MUST then FAIL with silent corruption (run with the storm slowed so no loss epoch moves)")
+		p99Budget     = flag.Duration("p99-budget", 0, "SLO mode: every read carries this deadline, and the run FAILS (exit 3) unless 99% of reads complete within it")
+		repairBudget  = flag.Duration("repair-budget", 50*time.Millisecond, "recovery watchdog force-escalates repairs older than this (watchdog runs in SLO/chaos modes)")
+		chaosStall    = flag.Duration("chaos-stall-recovery", 0, "chaos: wedge every full-2D recovery rung for this long — the watchdog must force-escalate instead of hanging")
 	)
 	flag.Parse()
 	if *replayPath != "" {
@@ -106,12 +111,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Chaos mode: arm a stall point inside the full-2D rung. Every
+	// recovery that reaches it wedges for the armed duration, and only
+	// the watchdog's force-escalation keeps the run from hanging.
+	var stall *fault.Stall
+	if *chaosStall > 0 {
+		stall = new(fault.Stall)
+		stall.Arm(*chaosStall)
+	}
+
 	backing := twodcache.NewMemoryBacking(*lineBytes)
 	reg := twodcache.NewMetricsRegistry()
 	eng, err := twodcache.NewResilientCache(twodcache.ProtectedCacheConfig{
 		Sets: *sets, Ways: *ways, LineBytes: *lineBytes,
 		SECDEDHorizontal: *secded, Banks: *banks,
-	}, backing, twodcache.ResilienceConfig{SpareRows: *spares, Metrics: reg})
+	}, backing, twodcache.ResilienceConfig{
+		SpareRows: *spares, Metrics: reg, RecoveryStall: stall,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		os.Exit(2)
@@ -121,6 +137,24 @@ func main() {
 		Interval: *scrubInterval,
 		HighRate: *highRate,
 	})
+
+	// SLO mode records every read's end-to-end latency into a histogram
+	// whose bucket bounds include the budget itself, so the pass/fail
+	// count (CountLE) is EXACT — never interpolated.
+	var readLat *twodcache.LatencyHistogram
+	if *p99Budget > 0 {
+		readLat = reg.Histogram("soak_read_seconds",
+			"end-to-end client read latency (SLO mode)", sloBounds(*p99Budget)...)
+	}
+
+	// Bounded-latency modes run the recovery watchdog: a repair that
+	// outlives -repair-budget is force-escalated to degradation instead
+	// of wedging its bank (and every coalesced waiter) indefinitely.
+	if *p99Budget > 0 || *chaosStall > 0 {
+		wd := eng.NewWatchdog(twodcache.RecoveryWatchdogConfig{Budget: *repairBudget})
+		wd.Start()
+		defer wd.Stop()
+	}
 
 	// Optional trace recording for offline deterministic replay
 	// (-replay) and shrinking (cmd/tracehunt). Events are appended in
@@ -162,6 +196,7 @@ func main() {
 		silent     atomic.Uint64 // UNACCOUNTED mismatches: must stay zero
 		accounted  atomic.Uint64 // mismatches explained by a loss-epoch advance
 		reported   atomic.Uint64 // DUEs surfaced to clients even after the ladder
+		sloAborts  atomic.Uint64 // reads abandoned at their deadline (SLO mode)
 		clientOps  atomic.Uint64
 		wg         sync.WaitGroup
 		scrubDone  = make(chan struct{})
@@ -345,10 +380,28 @@ func main() {
 				if rec != nil {
 					rec.Read(id, addr)
 				}
-				got, err := eng.Read(addr, 1)
+				var got []byte
+				var err error
+				if *p99Budget > 0 {
+					// SLO mode: the read carries its own deadline and gives
+					// up on an in-flight repair rather than riding it past
+					// budget. Deliberately parented on Background, not the
+					// run context, so shutdown does not masquerade as abort.
+					rctx, rcancel := context.WithTimeout(context.Background(), *p99Budget)
+					t0 := time.Now()
+					got, err = eng.ReadCtx(rctx, addr, 1)
+					readLat.Observe(time.Since(t0))
+					rcancel()
+					if errors.Is(err, twodcache.ErrRecoveryInProgress) {
+						sloAborts.Add(1)
+					}
+				} else {
+					got, err = eng.Read(addr, 1)
+				}
 				if err != nil {
-					// The ladder itself gave up — still a *reported* DUE,
-					// never silent. Repair and drop the stale expectation.
+					// The ladder itself gave up (or the deadline abandoned
+					// it) — still a *reported* event, never silent. Repair
+					// and drop the stale expectation.
 					reported.Add(1)
 					cache.Repair(addr)
 					delete(shadow, addr)
@@ -422,10 +475,57 @@ func main() {
 	fmt.Print(rep.String())
 	fmt.Printf("  accounting:  %d accounted losses, %d ladder-exhausted DUEs, %d SILENT corruptions\n",
 		accounted.Load(), reported.Load(), silent.Load())
+	if stall != nil {
+		fmt.Printf("  chaos:       full-2D stall armed at %v, engaged %d times, %d watchdog force-escalations\n",
+			*chaosStall, stall.Fired(), rep.WatchdogFires)
+	}
 
+	// Corruption dominates every other verdict: a run that lies about
+	// data MUST exit 1 even if it also blew its latency budget.
 	if silent.Load() > 0 {
 		fmt.Println("soak: FAIL — silent corruption detected")
 		os.Exit(1)
 	}
+	if *p99Budget > 0 {
+		h := reg.Snapshot().Histogram("soak_read_seconds")
+		within, exact := h.CountLE(*p99Budget)
+		mark := "="
+		if !exact {
+			mark = "<=" // cannot happen: the budget is a bucket bound
+		}
+		fmt.Printf("soak: slo: %d/%d reads (p99%s%v) within budget %v, %d deadline aborts\n",
+			within, h.Count, mark, h.Quantile(0.99).Round(time.Microsecond), *p99Budget, sloAborts.Load())
+		if h.Count > 0 && float64(within) < 0.99*float64(h.Count) {
+			fmt.Println("soak: FAIL — p99 read latency over budget")
+			os.Exit(3)
+		}
+	}
 	fmt.Println("soak: PASS — every mismatch accounted for by a reported DUE/decommission")
+}
+
+// sloBounds builds latency histogram bounds bracketing the budget, with
+// the budget itself as an exact bound so CountLE(budget) never has to
+// interpolate across a bucket.
+func sloBounds(budget time.Duration) []time.Duration {
+	var bs []time.Duration
+	add := func(d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		for _, x := range bs {
+			if x == d {
+				return
+			}
+		}
+		bs = append(bs, d)
+	}
+	for _, div := range []int64{16, 8, 4, 2} {
+		add(budget / time.Duration(div))
+	}
+	add(budget)
+	for _, mul := range []int64{2, 4, 8, 16, 64} {
+		add(budget * time.Duration(mul))
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	return bs
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"twodcache/internal/bist"
+	"twodcache/internal/fault"
 	"twodcache/internal/obs"
 	"twodcache/internal/pcache"
 	"twodcache/internal/redundancy"
@@ -186,6 +187,38 @@ type ScrubberConfig = resilience.ScrubberConfig
 // Run(ctx) and stop it by cancelling the context.
 type CacheScrubber = resilience.Scrubber
 
+// --- bounded-latency operation -----------------------------------------------
+
+// RecoveryBreakerConfig tunes the per-bank circuit breakers that sit in
+// front of the recovery rungs (closed → open → half-open with probe
+// repairs). Set via ResilienceConfig.Breaker.
+type RecoveryBreakerConfig = resilience.BreakerConfig
+
+// RecoveryWatchdogConfig tunes the stuck-repair watchdog (repair
+// budget, scan cadence).
+type RecoveryWatchdogConfig = resilience.WatchdogConfig
+
+// RecoveryWatchdog force-escalates in-flight repairs that outlive their
+// budget; build one with ResilientCache.NewWatchdog and run it with
+// Start/Stop.
+type RecoveryWatchdog = resilience.Watchdog
+
+// ErrRecoveryInProgress matches (via errors.Is) errors returned by
+// ReadCtx/WriteCtx/FlushCtx when a bounded request abandoned an
+// in-flight repair at its deadline instead of riding it to the end.
+// The concrete error is a *RecoveryInProgressError with the repair's
+// progress; the triggering context error is also in the chain.
+var ErrRecoveryInProgress = resilience.ErrRecoveryInProgress
+
+// RecoveryInProgressError carries the abandoned repair's progress
+// (bank, fault location, rung reached, elapsed time).
+type RecoveryInProgressError = resilience.RecoveryInProgressError
+
+// RecoveryStall is a chaos-injectable stall point; arm one and pass it
+// via ResilienceConfig.RecoveryStall to wedge the full-2D rung and
+// prove the watchdog unsticks it.
+type RecoveryStall = fault.Stall
+
 // NewResilientCache builds a protected cache over the backing store
 // and wraps it with the recovery escalation ladder. Attach a
 // background scrubber with ResilientCache.NewScrubber.
@@ -207,6 +240,11 @@ type MetricsRegistry = obs.Registry
 
 // MetricsSnapshot is one coherent point-in-time view of a registry.
 type MetricsSnapshot = obs.Snapshot
+
+// LatencyHistogram is a registry-managed latency histogram; snapshot it
+// for exact-bound SLO accounting (HistogramSnapshot.CountLE) and
+// interpolated quantiles.
+type LatencyHistogram = obs.Histogram
 
 // EventSink receives structured resilience events (recovery start/end,
 // scrub passes, degrade epochs, uncorrectable detections). Install one

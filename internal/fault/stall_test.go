@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestStallDisarmedIsFree(t *testing.T) {
+	var s Stall
+	start := time.Now()
+	s.Hit(context.Background())
+	s.Hit(nil)
+	(*Stall)(nil).Hit(context.Background())
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("disarmed Hit took %v", d)
+	}
+	if s.Fired() != 0 || (*Stall)(nil).Fired() != 0 {
+		t.Fatalf("disarmed stall fired: %d", s.Fired())
+	}
+}
+
+func TestStallBlocksForDuration(t *testing.T) {
+	var s Stall
+	s.Arm(20 * time.Millisecond)
+	start := time.Now()
+	s.Hit(context.Background())
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("armed Hit returned after %v, want >= 20ms", d)
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", s.Fired())
+	}
+	s.Disarm()
+	s.Hit(context.Background()) // must not block or count
+	if s.Fired() != 1 {
+		t.Fatalf("fired after disarm = %d, want 1", s.Fired())
+	}
+}
+
+func TestStallReleasedByCancel(t *testing.T) {
+	var s Stall
+	s.Arm(time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	released := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		s.Hit(ctx)
+		released <- time.Since(start)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case d := <-released:
+		if d > 10*time.Second {
+			t.Fatalf("cancel took %v to release stall", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled Hit never returned")
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", s.Fired())
+	}
+}

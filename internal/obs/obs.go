@@ -161,6 +161,20 @@ type Sink interface {
 	// UncorrectableDetected fires when an access trips an error beyond
 	// the 2D coverage, before any recovery is attempted.
 	UncorrectableDetected(array string, set, way int)
+	// BreakerTransition fires when a per-bank circuit breaker changes
+	// state (closed/open/half-open); reason names the edge that was
+	// taken ("failure threshold", "probe failed", ...).
+	BreakerTransition(bank int, from, to, reason string)
+	// RepairCoalesced fires when a request joins an already-in-flight
+	// repair on its bank instead of starting its own (single-flight).
+	RepairCoalesced(array string, bank, set, way int)
+	// RequestShed fires when an open breaker routes a request straight
+	// to the degrade/bypass path, skipping the recovery rungs.
+	RequestShed(array string, bank, set, way int)
+	// WatchdogFire fires when the recovery watchdog force-escalates a
+	// stuck or over-budget in-flight repair; age is how long the repair
+	// had been running.
+	WatchdogFire(bank, set, way int, age time.Duration)
 }
 
 // NopSink is the no-op default Sink: every method is an empty inlinable
@@ -182,5 +196,17 @@ func (NopSink) DegradeEpoch(int, int, bool) {}
 
 // UncorrectableDetected implements Sink.
 func (NopSink) UncorrectableDetected(string, int, int) {}
+
+// BreakerTransition implements Sink.
+func (NopSink) BreakerTransition(int, string, string, string) {}
+
+// RepairCoalesced implements Sink.
+func (NopSink) RepairCoalesced(string, int, int, int) {}
+
+// RequestShed implements Sink.
+func (NopSink) RequestShed(string, int, int, int) {}
+
+// WatchdogFire implements Sink.
+func (NopSink) WatchdogFire(int, int, int, time.Duration) {}
 
 var _ Sink = NopSink{}

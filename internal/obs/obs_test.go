@@ -218,7 +218,51 @@ func TestHotPathAllocFree(t *testing.T) {
 		sink.ScrubPass(8, true, 0, time.Millisecond)
 		sink.DegradeEpoch(1, 2, false)
 		sink.UncorrectableDetected("tags", 3, 4)
+		sink.BreakerTransition(0, "closed", "open", "failure threshold")
+		sink.RepairCoalesced("data", 0, 1, 2)
+		sink.RequestShed("data", 0, 1, 2)
+		sink.WatchdogFire(0, 1, 2, time.Millisecond)
 	}); a != 0 {
 		t.Errorf("NopSink dispatch allocates %.1f/op", a)
+	}
+}
+
+// TestHistogramQuantileAndCountLE pins the SLO primitives: CountLE is
+// exact on bucket boundaries and conservative elsewhere, Quantile
+// interpolates inside the containing bucket and saturates at the
+// largest finite bound.
+func TestHistogramQuantileAndCountLE(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "test", time.Millisecond, 2*time.Millisecond, 10*time.Millisecond)
+	for i := 0; i < 98; i++ {
+		h.Observe(500 * time.Microsecond) // bucket (0, 1ms]
+	}
+	h.Observe(5 * time.Millisecond)  // bucket (2ms, 10ms]
+	h.Observe(50 * time.Millisecond) // overflow
+	s := r.Snapshot().Histogram("lat")
+
+	if n, exact := s.CountLE(2 * time.Millisecond); n != 98 || !exact {
+		t.Fatalf("CountLE(2ms) = %d exact=%v, want 98 exact", n, exact)
+	}
+	if n, exact := s.CountLE(3 * time.Millisecond); n != 98 || exact {
+		t.Fatalf("CountLE(3ms) = %d exact=%v, want 98 inexact", n, exact)
+	}
+	if n, _ := s.CountLE(10 * time.Millisecond); n != 99 {
+		t.Fatalf("CountLE(10ms) = %d, want 99", n)
+	}
+	// p50 lands inside the first bucket; p99 in (2ms,10ms]; p100 in the
+	// overflow bucket saturates at the last finite bound.
+	if q := s.Quantile(0.50); q <= 0 || q > time.Millisecond {
+		t.Fatalf("p50 = %v, want inside (0, 1ms]", q)
+	}
+	if q := s.Quantile(0.99); q <= 2*time.Millisecond || q > 10*time.Millisecond {
+		t.Fatalf("p99 = %v, want inside (2ms, 10ms]", q)
+	}
+	if q := s.Quantile(1.0); q != 10*time.Millisecond {
+		t.Fatalf("p100 = %v, want saturation at 10ms", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile not zero")
 	}
 }

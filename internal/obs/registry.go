@@ -127,6 +127,59 @@ func (h HistogramSnapshot) Mean() time.Duration {
 	return h.Sum / time.Duration(h.Count)
 }
 
+// CountLE returns how many observations are known to be <= bound.
+// exact reports whether bound coincides with a bucket boundary; when it
+// does not, the count is the conservative lower estimate from the last
+// boundary at or below bound. SLO checks should therefore build their
+// histogram with the budget as an explicit bound (see cmd/soak).
+func (h HistogramSnapshot) CountLE(bound time.Duration) (n uint64, exact bool) {
+	for i, b := range h.Bounds {
+		if b > bound {
+			return n, false
+		}
+		n += h.Counts[i]
+		if b == bound {
+			return n, true
+		}
+	}
+	return n, false
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the containing bucket — a display aid, not an
+// SLO primitive (use CountLE against an exact bound for pass/fail
+// decisions). Observations in the overflow bucket report the largest
+// finite bound: the histogram cannot resolve beyond it. Zero when
+// empty.
+func (h HistogramSnapshot) Quantile(q float64) time.Duration {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, b := range h.Bounds {
+		c := float64(h.Counts[i])
+		if cum+c >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			frac := (rank - cum) / c
+			return lo + time.Duration(frac*float64(b-lo))
+		}
+		cum += c
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a coherent point-in-time view of a registry: all declared
 // cross-counter invariants hold and counters never regress between
 // successive snapshots of the same registry.

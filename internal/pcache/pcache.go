@@ -455,6 +455,12 @@ func (c *Cache) NumBanks() int { return len(c.banks) }
 // SetsPerBank returns how many sets each bank holds.
 func (c *Cache) SetsPerBank() int { return c.setsPerBank }
 
+// BankOf returns the bank index serving the given global set — the
+// granularity at which repairs serialise (one bank lock, one in-flight
+// recovery) and at which the resilience layer keys its circuit
+// breakers and single-flight coalescing.
+func (c *Cache) BankOf(set int) int { return set / c.setsPerBank }
+
 // DataArray exposes bank 0's protected data array for single-threaded
 // fault injection (the whole data store when Banks == 1). Concurrent
 // injection must go through WithBankLock instead.

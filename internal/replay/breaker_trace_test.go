@@ -1,0 +1,134 @@
+package replay
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twodcache/internal/pcache"
+	"twodcache/internal/twod"
+)
+
+const breakerTracePath = "testdata/breaker-trip.trace"
+
+// breakerTripTrace builds the deterministic breaker-trip regression
+// trace. Six rounds, one per set k = 0..5, each planting the canonical
+// beyond-coverage ambiguous fault on a DIRTY pair of lines:
+//
+//   - two unflushed writes land in set k (data row 2k) and set k+16
+//     (data row 2k+32) — with 64 rows and 32 vertical groups the two
+//     rows are each other's sole vertical-group partner;
+//   - one bit flip per row, at the physical columns of codeword bits 0
+//     and 8 of word 0, which share an EDC8 parity column — so vertical
+//     recovery cannot disambiguate the pair;
+//   - a read of the first line then surfaces a persistent DUE that the
+//     retry, word, and full-2D rungs all fail, charging one failure to
+//     bank 0's circuit breaker before degradation absorbs the loss.
+//
+// Rounds 0..4 accumulate the default FailureThreshold of 5 consecutive
+// rung failures and trip the breaker open; round 5's DUE must be SHED
+// straight to degrade. The replay clock counts one microsecond per
+// reading, so the 10ms OpenTimeout never elapses inside the trace and
+// the trip is sticky — the shed is deterministic, not timing-lucky.
+//
+// Every mismatch is an accounted loss (degradation advances the loss
+// epoch), so the trace replays with Silent == 0 and rides the standard
+// TestCommittedTraces gate as well.
+func breakerTripTrace(t *testing.T) Trace {
+	t.Helper()
+	cfg := Config{
+		Sets: 32, Ways: 2, LineBytes: 64, Banks: 1,
+		VerticalGroups: 32, MaxRetries: 1,
+	}
+	// The flip columns depend on the horizontal code's physical layout;
+	// read them off a throwaway cache with the trace's exact geometry
+	// rather than hard-coding magic numbers.
+	pc, err := pcache.New(pcache.Config{
+		Sets: cfg.Sets, Ways: cfg.Ways, LineBytes: cfg.LineBytes,
+		Banks: cfg.Banks, VerticalGroups: cfg.VerticalGroups,
+	}, pcache.NewMapBacking(cfg.LineBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col0, col8 int
+	pc.WithBankLock(0, func(data, _ *twod.Array) {
+		lay := data.Layout()
+		col0 = lay.PhysColumn(0, 0)
+		col8 = lay.PhysColumn(0, 8)
+	})
+
+	tr := Trace{Cfg: cfg}
+	for k := 0; k <= 5; k++ {
+		tr.Events = append(tr.Events,
+			Event{Op: OpWrite, Addr: uint64(k * 64), Val: 0x11},
+			Event{Op: OpWrite, Addr: uint64((k + 16) * 64), Val: 0x22},
+			Event{Op: OpFlip, Bank: 0, Row: 2 * k, Col: col0},
+			Event{Op: OpFlip, Bank: 0, Row: 2*k + 32, Col: col8},
+			Event{Op: OpRead, Addr: uint64(k * 64)},
+		)
+	}
+	return tr
+}
+
+// TestBreakerTripTrace is the committed breaker-trip regression: the
+// trace on disk must (a) be exactly what the generator produces — no
+// silent drift between the committed bytes and the documented
+// construction — and (b) replay with at least one breaker trip and at
+// least one shed, zero silent corruptions, bit-for-bit deterministic.
+//
+// Regenerate after an intentional layout or format change with:
+//
+//	REGEN_TRACES=1 go test ./internal/replay -run TestBreakerTripTrace
+func TestBreakerTripTrace(t *testing.T) {
+	want := breakerTripTrace(t)
+	if os.Getenv("REGEN_TRACES") != "" {
+		if err := os.MkdirAll(filepath.Dir(breakerTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := want.SaveFile(breakerTracePath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", breakerTracePath)
+	}
+
+	raw, err := os.ReadFile(breakerTracePath)
+	if err != nil {
+		t.Fatalf("%v (run with REGEN_TRACES=1 to generate)", err)
+	}
+	var buf bytes.Buffer
+	if err := want.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf.Bytes()) {
+		t.Fatalf("%s does not match the generator; regenerate with REGEN_TRACES=1", breakerTracePath)
+	}
+
+	tr, err := ParseFile(breakerTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Silent != 0 {
+		t.Fatalf("silent corruption: %v", res.SilentDetails)
+	}
+	if res.Report.BreakerTrips == 0 {
+		t.Fatalf("breaker never tripped: %+v", res.Report)
+	}
+	if res.Report.BreakerSheds == 0 {
+		t.Fatalf("open breaker never shed a request: %+v", res.Report)
+	}
+	if res.Report.DUEs < 6 {
+		t.Fatalf("DUEs = %d, want >= 6 (one per planted round)", res.Report.DUEs)
+	}
+	again, err := Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StateHash != res.StateHash {
+		t.Fatalf("breaker-trip replay not deterministic: %#x vs %#x", res.StateHash, again.StateHash)
+	}
+}

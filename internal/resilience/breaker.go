@@ -1,0 +1,206 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-bank circuit breakers. The breaker sits
+// in front of the recovery rungs, not in front of the bank: an open
+// breaker does not reject traffic, it routes new uncorrectables on the
+// bank straight to the degrade/bypass rung, bounding how much repair
+// latency a persistently failing bank can charge its clients.
+type BreakerConfig struct {
+	// Disabled turns the breakers off: every repair runs the full
+	// ladder, as before this layer existed.
+	Disabled bool
+	// FailureThreshold is how many consecutive failed repairs (rungs
+	// exhausted, watchdog force-escalation) trip a closed breaker open.
+	// Zero or negative selects 5.
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker sheds before allowing a
+	// half-open probe repair. Zero or negative selects 10ms.
+	OpenTimeout time.Duration
+	// ProbeSuccesses is how many consecutive successful probes close a
+	// half-open breaker. Zero or negative selects 2.
+	ProbeSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 10 * time.Millisecond
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 2
+	}
+	return c
+}
+
+// breakerState is the classic three-state machine.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// bankBreaker is one bank's breaker. Single-flight serialises repairs
+// per bank, so admit/record pairs never interleave for the same bank in
+// practice; the mutex still makes every path safe on its own.
+type bankBreaker struct {
+	mu       sync.Mutex
+	state    breakerState
+	fails    int  // consecutive failures while closed
+	probeOK  int  // consecutive probe successes while half-open
+	probing  bool // a probe repair is currently out
+	openedAt time.Time
+}
+
+// admitVerdict is the breaker's routing decision for a would-be repair.
+type admitVerdict int
+
+const (
+	// admitRun: run the full ladder (breaker closed or disabled).
+	admitRun admitVerdict = iota
+	// admitProbe: run the full ladder as a half-open probe; the result
+	// decides whether the breaker closes or re-opens.
+	admitProbe
+	// admitShed: skip the recovery rungs, go straight to degrade.
+	admitShed
+)
+
+// admit asks bank's breaker how to route a new repair. An open breaker
+// whose OpenTimeout has elapsed transitions to half-open here and
+// admits the caller as the probe; only one probe is out at a time.
+func (e *Engine) admit(bank int) admitVerdict {
+	if e.cfg.Breaker.Disabled {
+		return admitRun
+	}
+	b := &e.breakers[bank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return admitRun
+	case breakerOpen:
+		if e.clock().Sub(b.openedAt) < e.cfg.Breaker.OpenTimeout {
+			return admitShed
+		}
+		e.transitionLocked(bank, b, breakerHalfOpen, "open timeout elapsed")
+		b.probing = true
+		return admitProbe
+	default: // half-open
+		if b.probing {
+			return admitShed
+		}
+		b.probing = true
+		return admitProbe
+	}
+}
+
+// recordBreaker feeds a finished repair's outcome back into bank's
+// breaker. success means the rungs rescued the access without the
+// watchdog forcing the repair over.
+func (e *Engine) recordBreaker(bank int, probe, success bool) {
+	if e.cfg.Breaker.Disabled {
+		return
+	}
+	b := &e.breakers[bank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	switch b.state {
+	case breakerClosed:
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= e.cfg.Breaker.FailureThreshold {
+			b.openedAt = e.clock()
+			e.breakerTrips.Inc()
+			e.transitionLocked(bank, b, breakerOpen, "failure threshold")
+		}
+	case breakerHalfOpen:
+		if success {
+			b.probeOK++
+			if b.probeOK >= e.cfg.Breaker.ProbeSuccesses {
+				e.transitionLocked(bank, b, breakerClosed, "probe successes")
+			}
+			return
+		}
+		b.openedAt = e.clock()
+		e.breakerTrips.Inc()
+		e.transitionLocked(bank, b, breakerOpen, "probe failed")
+	case breakerOpen:
+		// A result landing after an independent re-open: stale, ignore.
+	}
+}
+
+// releaseBreaker returns a probe slot without recording an outcome —
+// the repair aborted for reasons that say nothing about the bank's
+// health (caller deadline, hard non-DUE error).
+func (e *Engine) releaseBreaker(bank int, probe bool) {
+	if !probe || e.cfg.Breaker.Disabled {
+		return
+	}
+	b := &e.breakers[bank]
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// transitionLocked moves b to state `to`, maintaining counters, the
+// open-breakers gauge, and the event stream. Caller holds b.mu.
+func (e *Engine) transitionLocked(bank int, b *bankBreaker, to breakerState, reason string) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case breakerClosed:
+		b.fails, b.probeOK = 0, 0
+	case breakerOpen:
+		b.probeOK = 0
+	case breakerHalfOpen:
+		b.probeOK = 0
+	}
+	if to == breakerOpen {
+		e.breakersOpen.Add(1)
+	}
+	if from == breakerOpen {
+		e.breakersOpen.Add(-1)
+	}
+	e.breakerTransitions.Inc()
+	e.sink.BreakerTransition(bank, from.String(), to.String(), reason)
+}
+
+// BreakerState reports bank's breaker state ("closed", "open",
+// "half-open") for reports and tests.
+func (e *Engine) BreakerState(bank int) string {
+	if e.cfg.Breaker.Disabled || bank < 0 || bank >= len(e.breakers) {
+		return breakerClosed.String()
+	}
+	b := &e.breakers[bank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -32,10 +32,13 @@
 package resilience
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
+	"twodcache/internal/fault"
 	"twodcache/internal/obs"
 	"twodcache/internal/pcache"
 	"twodcache/internal/redundancy"
@@ -60,6 +63,15 @@ type Config struct {
 	// DegradeEpoch, ScrubPass, UncorrectableDetected); it is also
 	// installed on the cache. Nil selects the no-op sink.
 	Sink obs.Sink
+	// Breaker tunes the per-bank circuit breakers in front of the
+	// recovery rungs (see BreakerConfig). The zero value enables them
+	// with defaults; set Disabled to opt out.
+	Breaker BreakerConfig
+	// RecoveryStall, when non-nil, is a chaos stall point hit (under
+	// the repair context) at the entry of the full-2D rung — the rung
+	// that models the paper's whole-bank recovery sweep. Tests and
+	// cmd/soak arm it to prove the watchdog unsticks wedged repairs.
+	RecoveryStall *fault.Stall
 }
 
 // Engine metric names (see DESIGN.md §8 for the full catalogue).
@@ -75,6 +87,15 @@ const (
 	metricRemaps        = "resilience_remaps_total"
 	metricExhausted     = "resilience_exhausted_total"
 	metricLadderSeconds = "resilience_ladder_seconds"
+
+	metricCoalesced          = "resilience_coalesced_waits_total"
+	metricSheds              = "resilience_sheds_total"
+	metricBreakerTrips       = "resilience_breaker_trips_total"
+	metricBreakerTransitions = "resilience_breaker_transitions_total"
+	metricWatchdogFires      = "resilience_watchdog_fires_total"
+	metricDeadlineAborts     = "resilience_deadline_aborts_total"
+	metricBreakersOpen       = "resilience_breakers_open"
+
 	metricScrubPasses   = "scrub_passes_total"
 	metricScrubBackoffs = "scrub_backoffs_total"
 	metricScrubVictims  = "scrub_victims_total"
@@ -98,6 +119,18 @@ type Engine struct {
 	remappedOnce map[int]bool
 	scrubber     *Scrubber
 
+	// Bounded-latency state: one in-flight repair slot per bank
+	// (single-flight), one circuit breaker per bank, and the optional
+	// chaos stall point hit at the full-2D rung.
+	flightMu sync.Mutex
+	flights  map[int]*flight
+	breakers []bankBreaker
+	stall    *fault.Stall
+
+	// testHookLeadStart, when set, runs as the repair leader enters the
+	// rungs — test-only, to hold a leader in place deterministically.
+	testHookLeadStart func(fl *flight)
+
 	dues          *obs.Counter
 	retries       *obs.Counter
 	retryHits     *obs.Counter
@@ -109,6 +142,14 @@ type Engine struct {
 	remaps        *obs.Counter
 	exhausted     *obs.Counter
 	ladderLatency *obs.Histogram
+
+	coalesced          *obs.Counter
+	sheds              *obs.Counter
+	breakerTrips       *obs.Counter
+	breakerTransitions *obs.Counter
+	watchdogFires      *obs.Counter
+	deadlineAborts     *obs.Counter
+	breakersOpen       *obs.Gauge
 
 	// Scrub counters live on the engine (pre-registered, zero without a
 	// scrubber) so attaching a scrubber never re-registers names.
@@ -139,6 +180,7 @@ func New(c *pcache.Cache, cfg Config) *Engine {
 	if sink == nil {
 		sink = obs.NopSink{}
 	}
+	cfg.Breaker = cfg.Breaker.withDefaults()
 	e := &Engine{
 		cache:        c,
 		cfg:          cfg,
@@ -146,6 +188,9 @@ func New(c *pcache.Cache, cfg Config) *Engine {
 		metrics:      reg,
 		sink:         sink,
 		remappedOnce: map[int]bool{},
+		flights:      map[int]*flight{},
+		breakers:     make([]bankBreaker, c.NumBanks()),
+		stall:        cfg.RecoveryStall,
 
 		dues:          reg.Counter(metricDUEs, "detected-uncorrectable events entering the ladder"),
 		retries:       reg.Counter(metricRetries, "rung-1 access re-issues"),
@@ -158,6 +203,14 @@ func New(c *pcache.Cache, cfg Config) *Engine {
 		remaps:        reg.Counter(metricRemaps, "retired ways remapped to spare rows"),
 		exhausted:     reg.Counter(metricExhausted, "ladder runs that failed even after degradation"),
 		ladderLatency: reg.Histogram(metricLadderSeconds, "DUE-to-resolution ladder latency"),
+
+		coalesced:          reg.Counter(metricCoalesced, "requests coalesced onto an in-flight bank repair"),
+		sheds:              reg.Counter(metricSheds, "repairs routed straight to degrade by an open breaker"),
+		breakerTrips:       reg.Counter(metricBreakerTrips, "breaker transitions into the open state"),
+		breakerTransitions: reg.Counter(metricBreakerTransitions, "all breaker state transitions"),
+		watchdogFires:      reg.Counter(metricWatchdogFires, "stuck repairs force-escalated by the watchdog"),
+		deadlineAborts:     reg.Counter(metricDeadlineAborts, "ladder runs abandoned at the caller's deadline"),
+		breakersOpen:       reg.Gauge(metricBreakersOpen, "banks currently behind an open breaker"),
 
 		scrubPasses:   reg.Counter(metricScrubPasses, "completed scrub sweeps"),
 		scrubBackoffs: reg.Counter(metricScrubBackoffs, "sweeps deferred under high traffic"),
@@ -172,6 +225,11 @@ func New(c *pcache.Cache, cfg Config) *Engine {
 	reg.ClampLE(metricFullHits, metricFullAttempts)
 	reg.ClampLE(metricRemaps, metricDecommissions)
 	reg.ClampLE(metricExhausted, metricDUEs)
+	// At most one shed and one deadline abort per ladder run, and every
+	// breaker trip is itself a transition.
+	reg.ClampLE(metricSheds, metricDUEs)
+	reg.ClampLE(metricDeadlineAborts, metricDUEs)
+	reg.ClampLE(metricBreakerTrips, metricBreakerTransitions)
 	c.RegisterMetrics(reg)
 	c.SetEventSink(sink)
 	return e
@@ -189,12 +247,23 @@ func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 // Read serves n bytes at addr, running the escalation ladder on any
 // detected-uncorrectable error. An error return means even graceful
 // degradation could not produce trustworthy data.
-func (e *Engine) Read(addr uint64, n int) (out []byte, err error) {
+func (e *Engine) Read(addr uint64, n int) ([]byte, error) {
+	return e.ReadCtx(context.Background(), addr, n)
+}
+
+// ReadCtx is Read with a latency bound: the escalation ladder honours
+// ctx's deadline and cancellation at every rung boundary and while
+// coalesced behind another request's repair. When the budget runs out
+// mid-recovery the call returns a *RecoveryInProgressError (matching
+// both ErrRecoveryInProgress and ctx.Err() via errors.Is) instead of
+// riding the repair to the end; the repair itself keeps running and a
+// later access re-enters the ladder if needed.
+func (e *Engine) ReadCtx(ctx context.Context, addr uint64, n int) (out []byte, err error) {
 	out, err = e.cache.Read(addr, n)
 	if err == nil {
 		return out, nil
 	}
-	err = e.ladder(err, func() error {
+	err = e.ladderCtx(ctx, err, func() error {
 		var e2 error
 		out, e2 = e.cache.Read(addr, n)
 		return e2
@@ -208,45 +277,70 @@ func (e *Engine) Read(addr uint64, n int) (out []byte, err error) {
 // Write stores bytes at addr, running the escalation ladder on any
 // detected-uncorrectable error.
 func (e *Engine) Write(addr uint64, data []byte) error {
+	return e.WriteCtx(context.Background(), addr, data)
+}
+
+// WriteCtx is Write under a deadline; see ReadCtx for the contract.
+func (e *Engine) WriteCtx(ctx context.Context, addr uint64, data []byte) error {
 	err := e.cache.Write(addr, data)
 	if err == nil {
 		return nil
 	}
-	return e.ladder(err, func() error { return e.cache.Write(addr, data) })
+	return e.ladderCtx(ctx, err, func() error { return e.cache.Write(addr, data) })
 }
 
 // Flush writes all dirty lines back, escalating on DUEs until the
 // flush completes.
 func (e *Engine) Flush() error {
+	return e.FlushCtx(context.Background())
+}
+
+// FlushCtx is Flush under a deadline; see ReadCtx for the contract.
+// A deadline abort can leave some dirty lines unflushed.
+func (e *Engine) FlushCtx(ctx context.Context) error {
 	err := e.cache.Flush()
 	if err == nil {
 		return nil
 	}
-	return e.ladder(err, func() error { return e.cache.Flush() })
+	return e.ladderCtx(ctx, err, func() error { return e.cache.Flush() })
 }
 
-// ladder escalates a located DUE rung by rung, re-issuing attempt()
-// after each rung until it succeeds or the degrade rung exhausts the
-// set's ways. err must be the failing attempt's error. It brackets the
-// run with RecoveryStart/End events and a latency observation.
+// ladder is ladderCtx without a budget — kept as the unbounded entry
+// point for internal callers and tests.
 func (e *Engine) ladder(err error, attempt func() error) error {
+	return e.ladderCtx(context.Background(), err, attempt)
+}
+
+// ladderCtx escalates a located DUE rung by rung, re-issuing attempt()
+// after each rung until it succeeds, the degrade rung exhausts the
+// set's ways, or ctx runs out. err must be the failing attempt's
+// error. It brackets the run with RecoveryStart/End events and a
+// latency observation.
+func (e *Engine) ladderCtx(ctx context.Context, err error, attempt func() error) error {
 	var ue *pcache.UncorrectableError
 	if !errors.As(err, &ue) {
 		return err // not a machine check (span error, ...): no ladder
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.dues.Inc()
 	e.sink.RecoveryStart(ue.Array, ue.Set, ue.Way)
 	start := e.clock()
-	ferr := e.runLadder(&ue, attempt)
+	ferr := e.runLadder(ctx, start, &ue, attempt)
 	d := e.clock().Sub(start)
 	e.ladderLatency.Observe(d)
 	e.sink.RecoveryEnd(ue.Array, ue.Set, ue.Way, ferr == nil, d)
 	return ferr
 }
 
-// runLadder is the rung sequence; *ue is rebound whenever a re-issued
-// attempt surfaces a new fault location.
-func (e *Engine) runLadder(ue **pcache.UncorrectableError, attempt func() error) error {
+// runLadder is the bounded single-flight ladder. Each round the request
+// either coalesces onto its bank's in-flight repair (waiting under its
+// own deadline) or becomes the repair leader and runs the rungs itself.
+// *ue is rebound whenever a re-issued attempt surfaces a new fault
+// location. The round bound mirrors the old degrade backstop: every
+// unproductive round retires at least one way somewhere on the bank.
+func (e *Engine) runLadder(ctx context.Context, start time.Time, ue **pcache.UncorrectableError, attempt func() error) error {
 	// again re-issues the access; ok means done, a non-nil herr is a
 	// hard (non-DUE) failure; otherwise *ue is rebound to the new fault.
 	again := func() (ok bool, herr error) {
@@ -262,51 +356,199 @@ func (e *Engine) runLadder(ue **pcache.UncorrectableError, attempt func() error)
 		return false, nil
 	}
 
+	maxRounds := e.cache.Config().Ways + 2
+	for round := 0; round < maxRounds; round++ {
+		if cerr := ctx.Err(); cerr != nil {
+			e.deadlineAborts.Inc()
+			return fmt.Errorf("resilience: ladder abandoned before recovery: %w", cerr)
+		}
+		bank := e.cache.BankOf((*ue).Set)
+		fl, leader := e.joinFlight(bank, *ue, start)
+		if !leader {
+			// Coalesce: wait for the bank's repair under our deadline,
+			// then re-issue against the repaired arrays.
+			e.coalesced.Inc()
+			e.sink.RepairCoalesced((*ue).Array, bank, (*ue).Set, (*ue).Way)
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				e.deadlineAborts.Inc()
+				return e.progressErr(fl, ctx.Err())
+			}
+			ok, herr := again()
+			if herr != nil {
+				return herr
+			}
+			if ok {
+				return nil
+			}
+			continue
+		}
+		done, lerr := e.lead(ctx, fl, ue, again)
+		if done {
+			return lerr
+		}
+	}
+	e.exhausted.Inc()
+	return &pcache.UncorrectableError{Array: (*ue).Array, Set: (*ue).Set, Way: (*ue).Way}
+}
+
+// rungOutcome classifies how the recovery rungs (1–3) ended.
+type rungOutcome int
+
+const (
+	outcomeRescued     rungOutcome = iota // a rung rescued the access
+	outcomeFailed                         // rungs exhausted, access still faults
+	outcomeForced                         // watchdog force-escalated the repair
+	outcomeCallerAbort                    // the leader's caller ran out of budget
+)
+
+// lead runs one repair as its leader: breaker admission, the recovery
+// rungs, then the degrade backstop. done=false means the watchdog took
+// the repair over and the (re-issued) access still faults — the caller
+// should start a fresh round.
+func (e *Engine) lead(ctx context.Context, fl *flight, ue **pcache.UncorrectableError, again func() (bool, error)) (done bool, err error) {
+	// The caller's cancellation propagates into the flight context so a
+	// rung blocked in a stall releases at the deadline, not after it.
+	stop := context.AfterFunc(ctx, fl.cancel)
+	defer stop()
+	defer e.finishFlight(fl)
+
+	verdict := e.admit(fl.bank)
+	probe := verdict == admitProbe
+	if verdict == admitShed {
+		// Open breaker: the bank has stopped earning repair attempts.
+		// Route straight to the degrade/bypass path — bounded work, and
+		// the access still completes against backing.
+		e.sheds.Inc()
+		e.sink.RequestShed(fl.array, fl.bank, fl.set, fl.way)
+		return true, e.degradeLoop(ctx, fl, ue, again)
+	}
+
+	outcome, herr := e.runRungs(fl, ue, again)
+	if herr != nil {
+		e.releaseBreaker(fl.bank, probe)
+		return true, herr
+	}
+	switch outcome {
+	case outcomeRescued:
+		e.recordBreaker(fl.bank, probe, true)
+		return true, nil
+	case outcomeCallerAbort:
+		// Says nothing about the bank's health: release any probe slot
+		// without recording an outcome. The flight resolves (deferred
+		// finishFlight) so waiters re-issue and a fresh leader can pick
+		// the repair up.
+		e.releaseBreaker(fl.bank, probe)
+		e.deadlineAborts.Inc()
+		return true, e.progressErr(fl, ctx.Err())
+	case outcomeForced:
+		// The watchdog already degraded the flight's way; re-issue and
+		// let a fresh round handle any remaining damage.
+		e.recordBreaker(fl.bank, probe, false)
+		ok, herr := again()
+		if herr != nil {
+			return true, herr
+		}
+		if ok {
+			return true, nil
+		}
+		return false, nil
+	default: // outcomeFailed
+		e.recordBreaker(fl.bank, probe, false)
+		return true, e.degradeLoop(ctx, fl, ue, again)
+	}
+}
+
+// runRungs is the recovery rung sequence (retry, word, full-2D) with an
+// interruption check at every rung boundary. A non-nil error is a hard
+// (non-DUE) failure from the re-issued access.
+func (e *Engine) runRungs(fl *flight, ue **pcache.UncorrectableError, again func() (bool, error)) (rungOutcome, error) {
+	if e.testHookLeadStart != nil {
+		e.testHookLeadStart(fl)
+	}
+	// interrupted classifies a cancelled flight context: the watchdog
+	// marks forced before cancelling, the caller's deadline does not.
+	interrupted := func() (rungOutcome, bool) {
+		if fl.ctx.Err() == nil {
+			return outcomeRescued, false
+		}
+		if fl.forced.Load() {
+			return outcomeForced, true
+		}
+		return outcomeCallerAbort, true
+	}
+
 	// Rung 1: retry.
+	fl.rung.Store(rungRetry)
 	for i := 0; i < e.cfg.MaxRetries; i++ {
+		if o, stop := interrupted(); stop {
+			return o, nil
+		}
 		e.retries.Inc()
 		ok, herr := again()
 		if herr != nil {
-			return herr
+			return outcomeFailed, herr
 		}
 		if ok {
 			e.retryHits.Inc()
-			return nil
+			return outcomeRescued, nil
 		}
 	}
 
 	// Rung 2: targeted word-level recovery.
+	if o, stop := interrupted(); stop {
+		return o, nil
+	}
+	fl.rung.Store(rungWord)
 	e.wordAttempts.Inc()
 	if e.cache.RecoverWord((*ue).Array, (*ue).Set, (*ue).Way) {
 		ok, herr := again()
 		if herr != nil {
-			return herr
+			return outcomeFailed, herr
 		}
 		if ok {
 			e.wordHits.Inc()
-			return nil
+			return outcomeRescued, nil
 		}
 	}
 
-	// Rung 3: full 2D recovery over the bank.
+	// Rung 3: full 2D recovery over the bank — the rung that models the
+	// paper's whole-bank sweep, so the chaos stall point sits here.
+	if o, stop := interrupted(); stop {
+		return o, nil
+	}
+	fl.rung.Store(rungFull)
+	e.stall.Hit(fl.ctx)
+	if o, stop := interrupted(); stop {
+		return o, nil
+	}
 	e.fullAttempts.Inc()
 	if e.cache.RecoverSetArrays((*ue).Set) {
 		ok, herr := again()
 		if herr != nil {
-			return herr
+			return outcomeFailed, herr
 		}
 		if ok {
 			e.fullHits.Inc()
-			return nil
+			return outcomeRescued, nil
 		}
 	}
+	return outcomeFailed, nil
+}
 
-	// Rung 4: graceful degradation. Each pass retires the named way;
-	// once a whole set is retired its accesses bypass the arrays, so
-	// this terminates. The bound is a backstop against a pathological
-	// fault source that keeps naming fresh locations.
+// degradeLoop is rung 4: graceful degradation. Each pass retires the
+// named way; once a whole set is retired its accesses bypass the
+// arrays, so this terminates. The bound is a backstop against a
+// pathological fault source that keeps naming fresh locations.
+func (e *Engine) degradeLoop(ctx context.Context, fl *flight, ue **pcache.UncorrectableError, again func() (bool, error)) error {
+	fl.rung.Store(rungDegrade)
 	maxDegrades := e.cache.Config().Ways + 2
 	for i := 0; i < maxDegrades; i++ {
+		if ctx.Err() != nil {
+			e.deadlineAborts.Inc()
+			return e.progressErr(fl, ctx.Err())
+		}
 		e.Degrade((*ue).Set, (*ue).Way)
 		ok, herr := again()
 		if herr != nil {
@@ -396,6 +638,17 @@ type Report struct {
 	// MTTR is the mean time from DUE detection to ladder completion.
 	MTTR time.Duration
 
+	// Bounded-latency activity: requests coalesced onto in-flight
+	// repairs, breaker trips and sheds, stuck repairs the watchdog
+	// forced over, ladder runs abandoned at a caller's deadline, and
+	// how many banks sit behind an open breaker right now.
+	CoalescedWaits uint64
+	BreakerTrips   uint64
+	BreakerSheds   uint64
+	WatchdogFires  uint64
+	DeadlineAborts uint64
+	OpenBreakers   int64
+
 	// Scrubber activity (zero if no scrubber is attached).
 	ScrubPasses, ScrubBackoffs, ScrubVictims uint64
 
@@ -432,6 +685,12 @@ func (e *Engine) Report() Report {
 		ScrubPasses:     snap.Counter(metricScrubPasses),
 		ScrubBackoffs:   snap.Counter(metricScrubBackoffs),
 		ScrubVictims:    snap.Counter(metricScrubVictims),
+		CoalescedWaits:  snap.Counter(metricCoalesced),
+		BreakerTrips:    snap.Counter(metricBreakerTrips),
+		BreakerSheds:    snap.Counter(metricSheds),
+		WatchdogFires:   snap.Counter(metricWatchdogFires),
+		DeadlineAborts:  snap.Counter(metricDeadlineAborts),
+		OpenBreakers:    snap.Gauge(metricBreakersOpen),
 		DirtyLinesLost:  st.DirtyLinesLost,
 		DisabledWays:    disabled,
 		TotalWays:       total,

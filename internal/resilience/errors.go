@@ -1,0 +1,52 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrRecoveryInProgress is the sentinel matched by errors.Is when a
+// bounded request gave up on a repair rather than riding it to the end:
+// a coalesced waiter whose deadline expired, or a repair leader whose
+// caller cancelled mid-ladder. The concrete error in the chain is
+// always a *RecoveryInProgressError carrying the repair's progress.
+var ErrRecoveryInProgress = errors.New("resilience: recovery in progress")
+
+// RecoveryInProgressError reports that a request abandoned an in-flight
+// repair on its bank. It wraps both ErrRecoveryInProgress (so callers
+// can classify) and the triggering cause — typically
+// context.DeadlineExceeded or context.Canceled — so standard deadline
+// handling (errors.Is(err, context.DeadlineExceeded)) works unchanged.
+//
+// The data at the reported location is NOT lost: the repair it
+// abandoned keeps running (or the next access restarts the ladder), and
+// the loss-epoch protocol still accounts any eventual degradation.
+type RecoveryInProgressError struct {
+	// Bank is the bank whose repair the request abandoned; Array, Set
+	// and Way locate the fault that started that repair.
+	Bank     int
+	Array    string
+	Set, Way int
+	// Rung names the ladder rung the repair had reached ("retry",
+	// "word", "full-2d", "degrade") when the request gave up.
+	Rung string
+	// Elapsed is how long the repair had been running at that point.
+	Elapsed time.Duration
+	// Err is the triggering cause (context.DeadlineExceeded, ...).
+	Err error
+}
+
+// Error implements error.
+func (e *RecoveryInProgressError) Error() string {
+	return fmt.Sprintf("resilience: bank %d repair in progress (rung %s, %s fault at set %d way %d, running %v): %v",
+		e.Bank, e.Rung, e.Array, e.Set, e.Way, e.Elapsed, e.Err)
+}
+
+// Unwrap exposes both the classification sentinel and the cause.
+func (e *RecoveryInProgressError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{ErrRecoveryInProgress}
+	}
+	return []error{ErrRecoveryInProgress, e.Err}
+}

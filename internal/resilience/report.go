@@ -20,6 +20,8 @@ func (r Report) String() string {
 		r.Decommissions, r.Remaps, r.Exhausted)
 	fmt.Fprintf(&b, "  scrubbing:   %d passes, %d backoffs, %d victims retired\n",
 		r.ScrubPasses, r.ScrubBackoffs, r.ScrubVictims)
+	fmt.Fprintf(&b, "  bounded:     %d coalesced waits · breaker %d trips, %d sheds, %d open · watchdog %d fires · %d deadline aborts\n",
+		r.CoalescedWaits, r.BreakerTrips, r.BreakerSheds, r.OpenBreakers, r.WatchdogFires, r.DeadlineAborts)
 	fmt.Fprintf(&b, "  capacity:    %d/%d ways disabled (%.1f%% lost)\n",
 		r.DisabledWays, r.TotalWays, r.CapacityLostPct)
 	fmt.Fprintf(&b, "  data loss:   %d dirty lines lost (accounted), %d errors recovered in-line\n",

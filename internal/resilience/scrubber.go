@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -50,10 +51,17 @@ type Scrubber struct {
 	cfg    ScrubberConfig
 
 	// accessFn, clock and sleep are injection points for tests; they
-	// default to the cache's access counter and real time.
+	// default to the cache's access counter and real time. bankHook,
+	// when set, runs after each bank of a sweep (cancel-mid-pass tests).
 	accessFn func() uint64
 	clock    func() time.Time
 	sleep    func(ctx context.Context, d time.Duration) bool
+	bankHook func(bank int)
+
+	// Start/Stop lifecycle for the background goroutine.
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // NewScrubber builds the engine's background scrubber and attaches it
@@ -96,22 +104,40 @@ func (s *Scrubber) Victims() uint64 { return s.engine.scrubVictims.Load() }
 // ways whose damage exceeds 2D coverage. It reports whether every bank
 // checked (or was repaired) clean without needing degradation.
 func (s *Scrubber) Sweep() bool {
+	clean, _ := s.sweepCtx(context.Background())
+	return clean
+}
+
+// sweepCtx is Sweep with mid-pass cancellation: ctx is checked between
+// banks, and an interrupted sweep reports completed=false WITHOUT
+// counting a pass, observing a latency, or emitting a ScrubPass event
+// — a partial sweep must never masquerade as scrub coverage in the
+// stats an operator uses to judge whether scrubbing keeps up.
+// Individual banks already swept stay repaired (the work is real; only
+// the accounting of a full pass is withheld).
+func (s *Scrubber) sweepCtx(ctx context.Context) (clean, completed bool) {
 	c := s.engine.cache
 	start := s.clock()
-	clean := true
+	clean = true
 	retired := 0
 	for i := 0; i < c.NumBanks(); i++ {
+		if ctx.Err() != nil {
+			return clean, false
+		}
 		ok, n := s.SweepBank(i)
 		if !ok {
 			clean = false
 			retired += n
+		}
+		if s.bankHook != nil {
+			s.bankHook(i)
 		}
 	}
 	d := s.clock().Sub(start)
 	s.engine.scrubPasses.Inc()
 	s.engine.scrubLatency.Observe(d)
 	s.engine.sink.ScrubPass(c.NumBanks(), clean, retired, d)
-	return clean
+	return clean, true
 }
 
 // SweepBank scrubs one bank: full 2D recovery, then graceful
@@ -162,6 +188,43 @@ func (s *Scrubber) Run(ctx context.Context) error {
 			}
 			deferred += s.cfg.PollInterval
 		}
-		s.Sweep()
+		if _, completed := s.sweepCtx(ctx); !completed {
+			return ctx.Err()
+		}
 	}
+}
+
+// Start launches Run in a background goroutine; idempotent until Stop.
+// Prefer Start/Stop over `go s.Run(ctx)` at shutdown boundaries: Stop
+// joins the goroutine, so no sweep is still running (and no pass can
+// be half-counted) after it returns.
+func (s *Scrubber) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.done = make(chan struct{})
+	done := s.done
+	go func() {
+		defer close(done)
+		_ = s.Run(ctx)
+	}()
+}
+
+// Stop cancels the background goroutine and waits for it to exit — any
+// in-progress sweep aborts at the next bank boundary and is not
+// counted as a completed pass.
+func (s *Scrubber) Stop() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.done
+	s.cancel, s.done = nil, nil
+	s.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
 }

@@ -14,6 +14,11 @@
 # run) through the deterministic replayer; -full repeats them under
 # -race and adds the cmd/soak exit-code contract.
 #
+# Every go test invocation carries -timeout 120s — the deadlock gate: a
+# wedged repair (stuck single-flight leader, watchdog that never fires,
+# scrubber Stop that never joins) fails the build in two minutes with a
+# goroutine dump instead of idling under go test's default 10m.
+#
 # staticcheck runs when the binary is on PATH and is skipped with a
 # warning otherwise, so the gate tightens automatically on machines
 # that have it without breaking minimal containers.
@@ -38,18 +43,18 @@ fi
 echo "== go build ./..."
 go build ./...
 echo "== go test ./..."
-go test ./...
+go test -timeout 120s ./...
 echo "== replay gate (committed fault traces)"
-go test ./internal/replay/ -run 'TestCommittedTraces'
+go test -timeout 120s ./internal/replay/ -run 'TestCommittedTraces'
 if [ "${1:-}" = "-full" ]; then
     echo "== go test -race ./... (full)"
-    go test -race ./...
+    go test -race -timeout 120s ./...
     echo "== replay gate under -race (full)"
-    go test -race ./internal/replay/ -run 'TestCommittedTraces'
+    go test -race -timeout 120s ./internal/replay/ -run 'TestCommittedTraces'
     echo "== cmd/soak exit-code contract (full)"
     sh scripts/test_soak_exit.sh
 else
     echo "== go test -race (concurrency-hardened packages + kernel layer)"
-    go test -race ./internal/bitvec/ ./internal/ecc/ ./internal/twod/ ./internal/pcache/ ./internal/resilience/ ./internal/obs/
+    go test -race -timeout 120s ./internal/bitvec/ ./internal/ecc/ ./internal/twod/ ./internal/pcache/ ./internal/resilience/ ./internal/obs/
 fi
 echo "check: OK"

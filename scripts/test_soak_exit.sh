@@ -67,4 +67,21 @@ wait "$pid"
 st=$?
 [ "$st" -eq 0 ] || fail "interrupted healthy run exited $st (want 0)"
 
+# 7. SLO violation is its OWN exit code (3), distinct from corruption's
+#    1: an unmeetable 1ns p99 budget means every read lands over budget,
+#    the data is still fine, and the run must say "too slow", not "lied
+#    about data".
+out=$("$bin" -duration 1s -p99-budget 1ns -stats-interval 0 2>&1)
+st=$?
+[ "$st" -eq 3 ] || fail "SLO-violating run exited $st (want 3)"
+case "$out" in
+*"FAIL — p99 read latency over budget"*) ;;
+*) fail "SLO-violating run printed no SLO FAIL banner" ;;
+esac
+
+# 8. A generous budget passes: SLO mode itself must not break a healthy
+#    run's zero exit.
+"$bin" -duration 1s -p99-budget 50ms -stats-interval 0 >/dev/null 2>&1 \
+    || fail "healthy SLO run exited $?"
+
 echo "test_soak_exit: OK"
