@@ -10,6 +10,7 @@ package twodcache
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -532,4 +533,105 @@ func BenchmarkPCacheParallelReadInto(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- sharded store benches ----------------------------------------------
+//
+// BenchmarkShardedParallelRead sweeps the shard count with a FIXED
+// per-shard geometry (scale-out: N shards = N× banks and capacity) and
+// a fixed 256-line working set, so the curve isolates what sharding
+// buys parallel readers: more independent lock domains and counters.
+// Run with -cpu 1,2,4,8 — on a single core the curve is flat (there is
+// no parallelism to unlock); results/BENCH_shards.md records both.
+func BenchmarkShardedParallelRead(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			backing := NewMemoryBacking(64)
+			s, err := NewShardedCache(ShardedCacheConfig{
+				Shards: shards,
+				Cache:  ProtectedCacheConfig{Sets: 64, Ways: 4, LineBytes: 64, Banks: 8},
+			}, backing)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const lines = 256 // striped across all shards, always resident
+			for l := uint64(0); l < lines; l++ {
+				if err := s.Write(l*64, []byte{byte(l)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			var workerSeed atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(workerSeed.Add(1)))
+				dst := make([]byte, 8)
+				for pb.Next() {
+					l := uint64(rng.Intn(lines))
+					if err := s.ReadInto(l*64, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// benchBatchStore builds the 4-shard store and the 64-op working set
+// (8 spans over each of 8 resident lines) shared by the batch-vs-single
+// pair below, so the two benches measure identical work.
+func benchBatchStore(b *testing.B) (*ShardedCache, []BatchReadOp) {
+	b.Helper()
+	backing := NewMemoryBacking(64)
+	s, err := NewShardedCache(ShardedCacheConfig{
+		Shards: 4,
+		Cache:  ProtectedCacheConfig{Sets: 64, Ways: 4, LineBytes: 64, Banks: 8},
+	}, backing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for l := uint64(0); l < 8; l++ {
+		if err := s.Write(l*64, bytes.Repeat([]byte{byte(l)}, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ops := make([]BatchReadOp, 64)
+	for i := range ops {
+		line, off := uint64(i%8), uint64(i/8)*8
+		ops[i] = BatchReadOp{Addr: line*64 + off, Dst: make([]byte, 8)}
+	}
+	return s, ops
+}
+
+// BenchmarkStoreReadBatch reads the 64-op set through ReadBatch: one
+// bank-lock acquisition and one tag lookup per distinct line, spans
+// served from a single line read-out.
+func BenchmarkStoreReadBatch(b *testing.B) {
+	s, ops := benchBatchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if failed := s.ReadBatch(ops); failed != 0 {
+			b.Fatal("batch read failed")
+		}
+	}
+}
+
+// BenchmarkStoreSingleReads is the same 64 ops issued one at a time —
+// the baseline ReadBatch must beat (64 lock acquisitions, 64 tag
+// lookups, 64 line read-outs).
+func BenchmarkStoreSingleReads(b *testing.B) {
+	s, ops := benchBatchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ops {
+			if err := s.ReadInto(ops[j].Addr, ops[j].Dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }

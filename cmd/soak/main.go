@@ -86,6 +86,7 @@ func main() {
 		sets          = flag.Int("sets", 64, "cache sets")
 		ways          = flag.Int("ways", 4, "cache ways")
 		banks         = flag.Int("banks", 8, "independently locked banks")
+		shards        = flag.Int("shards", 1, "independent storage shards striping the line space (power of two; per-shard geometry is -sets/-ways/-banks)")
 		lineBytes     = flag.Int("line", 64, "line size in bytes")
 		secded        = flag.Bool("secded", false, "SECDED horizontal code instead of EDC8")
 		spares        = flag.Int("spares", 8, "spare-row budget for remapping")
@@ -110,6 +111,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "soak: need at least one client")
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "soak: shards %d must be at least 1\n", *shards)
+		os.Exit(2)
+	}
+	if *shards > 1 && *recordPath != "" {
+		// Trace recording leans on a single engine's bank-lock commit
+		// order; N engines interleave independently, so a recorded
+		// multi-shard run could not replay deterministically.
+		fmt.Fprintln(os.Stderr, "soak: -record requires -shards 1")
+		os.Exit(2)
+	}
 
 	// Chaos mode: arm a stall point inside the full-2D rung. Every
 	// recovery that reaches it wedges for the armed duration, and only
@@ -122,21 +134,85 @@ func main() {
 
 	backing := twodcache.NewMemoryBacking(*lineBytes)
 	reg := twodcache.NewMetricsRegistry()
-	eng, err := twodcache.NewResilientCache(twodcache.ProtectedCacheConfig{
+	ccfg := twodcache.ProtectedCacheConfig{
 		Sets: *sets, Ways: *ways, LineBytes: *lineBytes,
 		SECDEDHorizontal: *secded, Banks: *banks,
-	}, backing, twodcache.ResilienceConfig{
-		SpareRows: *spares, Metrics: reg, RecoveryStall: stall,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "soak:", err)
-		os.Exit(2)
 	}
-	cache := eng.Cache()
-	scrubber := eng.NewScrubber(twodcache.ScrubberConfig{
-		Interval: *scrubInterval,
-		HighRate: *highRate,
-	})
+	rcfg := twodcache.ResilienceConfig{
+		SpareRows: *spares, Metrics: reg, RecoveryStall: stall,
+	}
+	needWatchdog := *p99Budget > 0 || *chaosStall > 0
+
+	// The store under test: one engine, or N independent engines behind
+	// the sharded router. The single-engine path is kept verbatim (its
+	// scrub/record interplay below depends on it); the sharded path owns
+	// its scrubbers and watchdogs via Start/Stop.
+	var (
+		st      twodcache.CacheStore
+		sharded *twodcache.ShardedCache
+		engines []*twodcache.ResilientCache
+		scrub1  *twodcache.CacheScrubber
+	)
+	if *shards <= 1 {
+		eng, err := twodcache.NewResilientCache(ccfg, backing, rcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soak:", err)
+			os.Exit(2)
+		}
+		st = eng
+		engines = []*twodcache.ResilientCache{eng}
+		scrub1 = eng.NewScrubber(twodcache.ScrubberConfig{
+			Interval: *scrubInterval,
+			HighRate: *highRate,
+		})
+		if needWatchdog {
+			wd := eng.NewWatchdog(twodcache.RecoveryWatchdogConfig{Budget: *repairBudget})
+			wd.Start()
+			defer wd.Stop()
+		}
+	} else {
+		scfg := twodcache.ShardedCacheConfig{
+			Shards:     *shards,
+			Cache:      ccfg,
+			Resilience: rcfg,
+			Scrubber: &twodcache.ScrubberConfig{
+				Interval: *scrubInterval,
+				HighRate: *highRate,
+			},
+		}
+		if needWatchdog {
+			scfg.Watchdog = &twodcache.RecoveryWatchdogConfig{Budget: *repairBudget}
+		}
+		var err error
+		sharded, err = twodcache.NewShardedCache(scfg, backing)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soak:", err)
+			os.Exit(2)
+		}
+		st = sharded
+		for i := 0; i < sharded.NumShards(); i++ {
+			engines = append(engines, sharded.Shard(i))
+		}
+		sharded.Start()
+		defer sharded.Stop()
+	}
+	// locate maps a global address to its owning engine and that
+	// engine's local address — the repair/loss-epoch oracle must talk to
+	// the shard that actually holds the line.
+	locate := func(addr uint64) (*twodcache.ResilientCache, uint64) {
+		if sharded == nil {
+			return engines[0], addr
+		}
+		return sharded.Locate(addr)
+	}
+	repairAt := func(addr uint64) {
+		e, la := locate(addr)
+		e.Cache().Repair(la)
+	}
+	epochOf := func(addr uint64) uint64 {
+		e, la := locate(addr)
+		return e.Cache().LossEpoch(int((la / uint64(*lineBytes)) % uint64(*sets)))
+	}
 
 	// SLO mode records every read's end-to-end latency into a histogram
 	// whose bucket bounds include the budget itself, so the pass/fail
@@ -145,15 +221,6 @@ func main() {
 	if *p99Budget > 0 {
 		readLat = reg.Histogram("soak_read_seconds",
 			"end-to-end client read latency (SLO mode)", sloBounds(*p99Budget)...)
-	}
-
-	// Bounded-latency modes run the recovery watchdog: a repair that
-	// outlives -repair-budget is force-escalated to degradation instead
-	// of wedging its bank (and every coalesced waiter) indefinitely.
-	if *p99Budget > 0 || *chaosStall > 0 {
-		wd := eng.NewWatchdog(twodcache.RecoveryWatchdogConfig{Budget: *repairBudget})
-		wd.Start()
-		defer wd.Stop()
 	}
 
 	// Optional trace recording for offline deterministic replay
@@ -204,13 +271,18 @@ func main() {
 		stormCount atomic.Uint64
 	)
 
-	// Background scrubber. When recording, drive the sweeps bank by bank
-	// so each one lands in the trace (traffic-aware backoff is skipped —
-	// a recorded run favours reproducibility over load shaping).
+	// Background scrubber. Sharded runs scrub per shard via Start above;
+	// the single-engine path drives its scrubber here. When recording,
+	// sweeps run bank by bank so each one lands in the trace
+	// (traffic-aware backoff is skipped — a recorded run favours
+	// reproducibility over load shaping).
 	go func() {
 		defer close(scrubDone)
+		if scrub1 == nil {
+			return
+		}
 		if rec == nil {
-			_ = scrubber.Run(ctx)
+			_ = scrub1.Run(ctx)
 			return
 		}
 		ticker := time.NewTicker(*scrubInterval)
@@ -221,9 +293,9 @@ func main() {
 				return
 			case <-ticker.C:
 			}
-			for i := 0; i < cache.NumBanks(); i++ {
+			for i := 0; i < engines[0].Cache().NumBanks(); i++ {
 				rec.Scrub(i)
-				scrubber.SweepBank(i)
+				scrub1.SweepBank(i)
 			}
 		}
 	}()
@@ -235,10 +307,14 @@ func main() {
 		defer close(stormDone)
 		storm := fault.NewStorm(fault.StormConfig{Seed: *seed, MeanInterval: *faultInterval})
 		rng := rand.New(rand.NewSource(*seed + 7))
+		// Every shard is its own protection domain: aim each event at a
+		// uniformly chosen (shard, bank) pair so storms cover all of them.
+		banksPer := engines[0].Cache().NumBanks()
 		oneEvent := func() {
-			bi := rng.Intn(cache.NumBanks())
+			gi := rng.Intn(len(engines) * banksPer)
+			c, bi := engines[gi/banksPer].Cache(), gi%banksPer
 			hitTags := rng.Intn(4) == 0
-			cache.WithBankLock(bi, func(data, tags *twod.Array) {
+			c.WithBankLock(bi, func(data, tags *twod.Array) {
 				a := data
 				if hitTags {
 					a = tags
@@ -295,23 +371,43 @@ func main() {
 			case <-ticker.C:
 			}
 			s := reg.Snapshot()
-			lat := s.Histogram("resilience_ladder_seconds")
-			fmt.Printf("soak: t=%5.1fs acc=%d hits=%d dues=%d mttr=%v scrubs=%d victims=%d disabled=%d faults=%d\n",
+			if sharded == nil {
+				lat := s.Histogram("resilience_ladder_seconds")
+				fmt.Printf("soak: t=%5.1fs acc=%d hits=%d dues=%d mttr=%v scrubs=%d victims=%d disabled=%d faults=%d\n",
+					time.Since(start).Seconds(),
+					s.Counter("pcache_accesses_total"),
+					s.Counter("pcache_hits_total"),
+					s.Counter("resilience_dues_total"),
+					lat.Mean().Round(time.Microsecond),
+					s.Counter("scrub_passes_total"),
+					s.Counter("scrub_victims_total"),
+					s.Gauge("pcache_disabled_ways"),
+					stormCount.Load())
+				continue
+			}
+			// Sharded line: store_* aggregates plus per-shard sums
+			// (every shard's metrics live under its prefix).
+			var dues, scrubs, victims uint64
+			var disabled int64
+			for i := range engines {
+				dues += s.Counter(fmt.Sprintf("shard%d_resilience_dues_total", i))
+				scrubs += s.Counter(fmt.Sprintf("shard%d_scrub_passes_total", i))
+				victims += s.Counter(fmt.Sprintf("shard%d_scrub_victims_total", i))
+				disabled += s.Gauge(fmt.Sprintf("shard%d_pcache_disabled_ways", i))
+			}
+			fmt.Printf("soak: t=%5.1fs acc=%d hits=%d dues=%d scrubs=%d victims=%d disabled=%d faults=%d (%d shards)\n",
 				time.Since(start).Seconds(),
-				s.Counter("pcache_accesses_total"),
-				s.Counter("pcache_hits_total"),
-				s.Counter("resilience_dues_total"),
-				lat.Mean().Round(time.Microsecond),
-				s.Counter("scrub_passes_total"),
-				s.Counter("scrub_victims_total"),
-				s.Gauge("pcache_disabled_ways"),
-				stormCount.Load())
+				s.Counter("store_accesses_total"),
+				s.Counter("store_hits_total"),
+				dues, scrubs, victims, disabled,
+				stormCount.Load(), len(engines))
 		}
 	}()
 
 	// Clients: disjoint line ownership (line % clients == id), private
-	// shadow model, loss-epoch accounting.
-	lines := uint64(4 * *sets) // 4x the sets: plenty of conflict misses
+	// shadow model, loss-epoch accounting. 4x the total sets: plenty of
+	// conflict misses.
+	lines := uint64(4 * *sets * len(engines))
 
 	// Self-validation of the oracle and the exit path: corrupt the
 	// backing store behind the cache's back, which no reported DUE or
@@ -350,14 +446,10 @@ func main() {
 			for l := uint64(id); l < lines; l += uint64(*clients) {
 				owned = append(owned, l)
 			}
-			setOf := func(addr uint64) int {
-				return int((addr / uint64(*lineBytes)) % uint64(*sets))
-			}
 			for ctx.Err() == nil {
 				clientOps.Add(1)
 				l := owned[rng.Intn(len(owned))]
 				addr := l*uint64(*lineBytes) + uint64(rng.Intn(*lineBytes))
-				set := setOf(addr)
 				if rng.Intn(5) < 2 { // 40% writes
 					val := byte(rng.Intn(256))
 					if rec != nil {
@@ -365,10 +457,10 @@ func main() {
 					}
 					// Capture the epoch BEFORE the write: a degrade racing
 					// the write then shows an advance, never a stale record.
-					e0 := cache.LossEpoch(set)
-					if err := eng.Write(addr, []byte{val}); err != nil {
+					e0 := epochOf(addr)
+					if err := st.Write(addr, []byte{val}); err != nil {
 						reported.Add(1)
-						cache.Repair(addr)
+						repairAt(addr)
 						delete(shadow, addr)
 						continue
 					}
@@ -389,26 +481,26 @@ func main() {
 					// run context, so shutdown does not masquerade as abort.
 					rctx, rcancel := context.WithTimeout(context.Background(), *p99Budget)
 					t0 := time.Now()
-					got, err = eng.ReadCtx(rctx, addr, 1)
+					got, err = st.ReadCtx(rctx, addr, 1)
 					readLat.Observe(time.Since(t0))
 					rcancel()
 					if errors.Is(err, twodcache.ErrRecoveryInProgress) {
 						sloAborts.Add(1)
 					}
 				} else {
-					got, err = eng.Read(addr, 1)
+					got, err = st.Read(addr, 1)
 				}
 				if err != nil {
 					// The ladder itself gave up (or the deadline abandoned
 					// it) — still a *reported* event, never silent. Repair
 					// and drop the stale expectation.
 					reported.Add(1)
-					cache.Repair(addr)
+					repairAt(addr)
 					delete(shadow, addr)
 					continue
 				}
 				if tracked && got[0] != want {
-					if cache.LossEpoch(set) == wep[addr] {
+					if epochOf(addr) == wep[addr] {
 						silent.Add(1)
 						fmt.Fprintf(os.Stderr,
 							"soak: SILENT corruption at %#x: got %d want %d (loss epoch unmoved)\n",
@@ -417,7 +509,7 @@ func main() {
 						accounted.Add(1)
 					}
 					// Either way the cache's view is now authoritative.
-					e0 := cache.LossEpoch(set)
+					e0 := epochOf(addr)
 					shadow[addr] = got[0]
 					wep[addr] = e0
 				}
@@ -427,14 +519,14 @@ func main() {
 			// still be explained.
 			<-stormDone
 			for addr, want := range shadow {
-				got, err := eng.Read(addr, 1)
+				got, err := st.Read(addr, 1)
 				if err != nil {
 					reported.Add(1)
-					cache.Repair(addr)
+					repairAt(addr)
 					continue
 				}
 				if got[0] != want {
-					if cache.LossEpoch(setOf(addr)) == wep[addr] {
+					if epochOf(addr) == wep[addr] {
 						silent.Add(1)
 						fmt.Fprintf(os.Stderr,
 							"soak: SILENT corruption at %#x on final sweep: got %d want %d\n",
@@ -453,7 +545,7 @@ func main() {
 	<-scrubDone
 	<-stormDone
 	<-statsDone
-	if err := eng.Flush(); err != nil {
+	if err := st.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "soak: final flush:", err)
 	}
 	if rec != nil {
@@ -469,15 +561,31 @@ func main() {
 	if interrupted {
 		fmt.Println("soak: interrupted — drained workers, printing final report")
 	}
-	rep := eng.Report()
 	fmt.Printf("soak: %v, %d clients, %d client ops, %d fault events\n",
 		*duration, *clients, clientOps.Load(), stormCount.Load())
-	fmt.Print(rep.String())
+	var watchdogFires uint64
+	if sharded == nil {
+		rep := engines[0].Report()
+		watchdogFires = rep.WatchdogFires
+		fmt.Print(rep.String())
+	} else {
+		ss := st.Stats()
+		fmt.Printf("  store:       %d shards, %d accesses (%.1f%% hit rate), %d writebacks\n",
+			len(engines), ss.Accesses,
+			100*float64(ss.Hits)/float64(max(ss.Hits+ss.Misses, 1)), ss.Writebacks)
+		for i, e := range engines {
+			r := e.Report()
+			watchdogFires += r.WatchdogFires
+			fmt.Printf("  shard %d:     %d DUEs, %d recoveries, %d decommissions, %d remaps, %d scrub passes, %d watchdog fires\n",
+				i, r.DUEs, r.RetrySuccesses+r.WordRecoveries+r.FullRecoveries, r.Decommissions, r.Remaps,
+				r.ScrubPasses, r.WatchdogFires)
+		}
+	}
 	fmt.Printf("  accounting:  %d accounted losses, %d ladder-exhausted DUEs, %d SILENT corruptions\n",
 		accounted.Load(), reported.Load(), silent.Load())
 	if stall != nil {
 		fmt.Printf("  chaos:       full-2D stall armed at %v, engaged %d times, %d watchdog force-escalations\n",
-			*chaosStall, stall.Fired(), rep.WatchdogFires)
+			*chaosStall, stall.Fired(), watchdogFires)
 	}
 
 	// Corruption dominates every other verdict: a run that lies about

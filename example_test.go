@@ -73,6 +73,36 @@ func ExampleCacheYield() {
 	// Output: 100%
 }
 
+// A ShardedCache stripes the address space across independent
+// resilient engines; batches amortise locking per bank and per shard.
+func ExampleNewShardedCache() {
+	st, err := twodcache.NewShardedCache(twodcache.ShardedCacheConfig{
+		Shards: 4, // 4 independent engines, line-interleaved
+		Cache:  twodcache.ProtectedCacheConfig{Sets: 16, Ways: 2, LineBytes: 64},
+	}, twodcache.NewMemoryBacking(64))
+	if err != nil {
+		panic(err)
+	}
+	writes := []twodcache.BatchWriteOp{
+		{Addr: 0 * 64, Data: []byte("two")},
+		{Addr: 1 * 64, Data: []byte("dee")},
+	}
+	if failed := st.WriteBatch(writes); failed != 0 {
+		panic("write batch failed")
+	}
+	reads := []twodcache.BatchReadOp{
+		{Addr: 0 * 64, Dst: make([]byte, 3)},
+		{Addr: 1 * 64, Dst: make([]byte, 3)},
+	}
+	if failed := st.ReadBatch(reads); failed != 0 {
+		panic("read batch failed")
+	}
+	fmt.Printf("%s%s from shards %d and %d of %d\n",
+		reads[0].Dst, reads[1].Dst,
+		st.ShardOf(reads[0].Addr), st.ShardOf(reads[1].Addr), st.NumShards())
+	// Output: twodee from shards 0 and 1 of 4
+}
+
 // A ProtectedCache keeps real data and tags in 2D-coded arrays and
 // recovers injected errors transparently.
 func ExampleNewProtectedCache() {
@@ -85,7 +115,10 @@ func ExampleNewProtectedCache() {
 	if err := cache.Write(0x100, []byte("resilient")); err != nil {
 		panic(err)
 	}
-	cache.DataArray().FlipBit(0, 5) // soft error strikes
+	// A soft error strikes the bank that holds 0x100's set (set 4 =
+	// (0x100/64) % 16): BankOf finds it, BankArrays exposes its arrays.
+	da, _ := cache.BankArrays(cache.BankOf(4))
+	da.FlipBit(0, 5)
 	got, err := cache.Read(0x100, 9)
 	if err != nil {
 		panic(err)

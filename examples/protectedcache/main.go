@@ -70,9 +70,12 @@ func main() {
 		// sometimes a whole 8x8 cluster, aimed at data or tags.
 		if rng.Intn(100) == 0 {
 			upsets++
-			target := cache.DataArray()
+			// Aim at a random bank — every bank is its own 2D
+			// protection domain, so storms must cover all of them.
+			dataArr, tagArr := cache.BankArrays(rng.Intn(cache.NumBanks()))
+			target := dataArr
 			if rng.Intn(4) == 0 {
-				target = cache.TagArray()
+				target = tagArr
 			}
 			r0, c0 := rng.Intn(target.Rows()), rng.Intn(target.RowBits()-8)
 			if rng.Intn(3) == 0 {

@@ -13,6 +13,7 @@ import (
 	"twodcache/internal/redundancy"
 	"twodcache/internal/resilience"
 	"twodcache/internal/scrub"
+	"twodcache/internal/store"
 	"twodcache/internal/trace"
 	"twodcache/internal/workload"
 )
@@ -228,6 +229,43 @@ func NewResilientCache(cfg ProtectedCacheConfig, backing CacheBacking, rcfg Resi
 		return nil, err
 	}
 	return resilience.New(c, rcfg), nil
+}
+
+// --- sharded storage engine ----------------------------------------------------
+
+// CacheStore is the storage-engine interface both a ResilientCache and
+// a ShardedCache satisfy: protected reads/writes (plus Ctx variants),
+// batch-amortised ReadBatch/WriteBatch, Flush, coherent Stats, and
+// metrics/event wiring. Program against it to swap shard counts
+// without touching call sites.
+type CacheStore = store.Store
+
+// ShardedCacheConfig assembles a sharded store: the shard count, the
+// PER-SHARD cache geometry, the per-shard resilience template, and
+// optional per-shard scrubbers and watchdogs (run with Start/Stop).
+type ShardedCacheConfig = store.Config
+
+// ShardedCache stripes line addresses across N fully independent
+// ResilientCache instances: separate bank locks, breakers, scrubbers,
+// and watchdogs per shard, so a storm or open breaker on one shard is
+// invisible to the others. Per-shard metrics appear under "shard<i>_"
+// prefixes in the root registry, cross-shard aggregates under
+// "store_".
+type ShardedCache = store.Sharded
+
+// BatchReadOp is one read of a batch: a line-local span and, after the
+// call, its outcome in Err.
+type BatchReadOp = pcache.ReadOp
+
+// BatchWriteOp is one write of a batch.
+type BatchWriteOp = pcache.WriteOp
+
+// NewShardedCache builds a sharded resilient store over one backing.
+// Every shard sees the global address space — the backing observes
+// exactly the addresses callers used, so a 1-shard and an N-shard
+// store are interchangeable over the same data.
+func NewShardedCache(cfg ShardedCacheConfig, backing CacheBacking) (*ShardedCache, error) {
+	return store.New(cfg, backing)
 }
 
 // --- observability -----------------------------------------------------------

@@ -133,7 +133,7 @@ func TestPublicResilientCache(t *testing.T) {
 	if err := eng.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	da := eng.Cache().DataArray()
+	da, _ := eng.Cache().BankArrays(0)
 	da.FlipBit(0, da.Layout().PhysColumn(0, 0))
 	da.FlipBit(32, da.Layout().PhysColumn(0, 8))
 

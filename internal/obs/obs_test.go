@@ -266,3 +266,72 @@ func TestHistogramQuantileAndCountLE(t *testing.T) {
 		t.Fatal("empty histogram quantile not zero")
 	}
 }
+
+func TestWithPrefixViews(t *testing.T) {
+	root := NewRegistry()
+	root.Counter("global", "").Add(1)
+	s0 := root.WithPrefix("shard0_")
+	s1 := root.WithPrefix("shard1_")
+	c0 := s0.Counter("hits", "")
+	c1 := s1.Counter("hits", "") // same local name, no collision
+	s0.Counter("accesses", "")
+	s0.ClampLE("hits", "accesses")
+	c0.Add(5)
+	c1.Add(9)
+
+	// Each view snapshots only its own metrics, prefix stripped; the
+	// clamp declared inside the view fires on the view's local names.
+	v0 := s0.Snapshot()
+	if got := v0.Counter("hits"); got != 0 { // clamped to accesses=0
+		t.Fatalf("view hits = %d, want 0 (clamped)", got)
+	}
+	if _, ok := v0.Counters["global"]; ok {
+		t.Fatal("prefixed view leaked a root metric")
+	}
+	if names := v0.Names(); len(names) != 2 || names[0] != "hits" {
+		t.Fatalf("view names = %v", names)
+	}
+
+	// The root sees everything fully qualified, same clamp applied.
+	rs := root.Snapshot()
+	if got := rs.Counter("shard0_hits"); got != 0 {
+		t.Fatalf("root shard0_hits = %d, want 0 (clamped)", got)
+	}
+	if got := rs.Counter("shard1_hits"); got != 9 {
+		t.Fatalf("root shard1_hits = %d, want 9", got)
+	}
+	if got := rs.Counter("global"); got != 1 {
+		t.Fatalf("root global = %d, want 1", got)
+	}
+
+	// Monotonic floors are shared between views: a regression observed
+	// through the root must not resurface through the view.
+	var src atomic.Uint64
+	src.Store(100)
+	s1.CounterFunc("mono", "", src.Load)
+	_ = root.Snapshot()
+	src.Store(40)
+	if got := s1.Snapshot().Counter("mono"); got != 100 {
+		t.Fatalf("view snapshot regressed to %d", got)
+	}
+
+	// Nested prefixes compose.
+	s0.WithPrefix("inner_").Counter("x", "").Add(3)
+	if got := root.Snapshot().Counter("shard0_inner_x"); got != 3 {
+		t.Fatalf("nested prefix counter = %d, want 3", got)
+	}
+}
+
+func TestAttachHistogram(t *testing.T) {
+	h := MustHistogram(time.Millisecond, time.Second)
+	h.Observe(2 * time.Millisecond)
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.AttachHistogram("lat", "", h)
+	r2.WithPrefix("mirror_").AttachHistogram("lat", "", h)
+	if got := r1.Snapshot().Histogram("lat").Count; got != 1 {
+		t.Fatalf("r1 count = %d, want 1", got)
+	}
+	if got := r2.Snapshot().Histogram("mirror_lat").Count; got != 1 {
+		t.Fatalf("r2 count = %d, want 1", got)
+	}
+}

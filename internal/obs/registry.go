@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 )
@@ -27,7 +28,19 @@ type metric struct {
 // Registry holds named metrics and produces coherent snapshots. All
 // methods are safe for concurrent use; registration is expected at
 // setup time, Snapshot at any time.
+//
+// A Registry is a view over a shared core: WithPrefix derives a view
+// that registers and reports under a name prefix, so N independent
+// instances of one subsystem (the shards of a sharded store) can share
+// a single exportable registry without colliding.
 type Registry struct {
+	prefix string
+	core   *registryCore
+}
+
+// registryCore is the state shared by every prefixed view of one
+// registry: names are stored fully qualified (prefix included).
+type registryCore struct {
 	mu      sync.Mutex
 	names   []string // registration order
 	metrics map[string]*metric
@@ -37,23 +50,36 @@ type Registry struct {
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	return &Registry{core: &registryCore{
 		metrics: map[string]*metric{},
 		lastC:   map[string]uint64{},
-	}
+	}}
+}
+
+// WithPrefix returns a view of the same registry that registers every
+// metric as prefix+name. Snapshots taken through the view contain only
+// the view's metrics, with the prefix stripped — a subsystem handed a
+// prefixed view reads its own metrics back under the names it
+// registered, oblivious to the sharing. Snapshots of the parent
+// registry contain every view's metrics fully qualified. Prefixes
+// nest: r.WithPrefix("a_").WithPrefix("b_") registers under "a_b_".
+func (r *Registry) WithPrefix(prefix string) *Registry {
+	return &Registry{prefix: r.prefix + prefix, core: r.core}
 }
 
 func (r *Registry) register(name string, m *metric) {
 	if name == "" {
 		panic("obs: empty metric name")
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.metrics[name]; dup {
+	name = r.prefix + name
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.metrics[name]; dup {
 		panic(fmt.Sprintf("obs: duplicate metric %q", name))
 	}
-	r.names = append(r.names, name)
-	r.metrics[name] = m
+	c.names = append(c.names, name)
+	c.metrics[name] = m
 }
 
 // Counter registers and returns a new Counter under name. Panics on a
@@ -93,20 +119,31 @@ func (r *Registry) Histogram(name, help string, bounds ...time.Duration) *Histog
 	return h
 }
 
+// AttachHistogram registers an existing histogram under name — the
+// bridge for subsystems that allocate their own histograms but want
+// them served by a registry they did not create (mirroring one
+// engine's instrumentation into a second registry).
+func (r *Registry) AttachHistogram(name, help string, h *Histogram) {
+	r.register(name, &metric{kind: kindHistogram, help: help, hist: h})
+}
+
 // ClampLE declares the invariant counter[lower] <= counter[upper]:
 // every snapshot clamps the lower value so the pair never reads
 // impossible (a success count exceeding its attempt count, hits
-// exceeding accesses). Both names must already be registered counters.
+// exceeding accesses). Both names must already be registered counters
+// (through this view — the pair is stored fully qualified).
 func (r *Registry) ClampLE(lower, upper string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	lower, upper = r.prefix+lower, r.prefix+upper
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, n := range [2]string{lower, upper} {
-		m, ok := r.metrics[n]
+		m, ok := c.metrics[n]
 		if !ok || m.kind != kindCounter {
 			panic(fmt.Sprintf("obs: ClampLE(%q, %q): %q is not a registered counter", lower, upper, n))
 		}
 	}
-	r.clamps = append(r.clamps, [2]string{lower, upper})
+	c.clamps = append(c.clamps, [2]string{lower, upper})
 }
 
 // HistogramSnapshot is one histogram's coherent state: Counts[i] is the
@@ -209,19 +246,30 @@ func (s *Snapshot) Names() []string { return append([]string(nil), s.names...) }
 // then monotonic clamping against the previous snapshot. Safe for
 // concurrent use; snapshots serialise against each other but never
 // block metric writers.
+//
+// On a WithPrefix view, only metrics registered through that view are
+// read, and names appear with the prefix stripped; clamp invariants
+// whose counters fall entirely within the view still apply, and
+// monotonic state is shared with every other view of the registry.
 func (r *Registry) Snapshot() *Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := r.prefix
 	s := &Snapshot{
-		names:      append([]string(nil), r.names...),
-		help:       make(map[string]string, len(r.names)),
-		kinds:      make(map[string]metricKind, len(r.names)),
+		help:       make(map[string]string, len(c.names)),
+		kinds:      make(map[string]metricKind, len(c.names)),
 		Counters:   map[string]uint64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
 	}
-	for _, name := range r.names {
-		m := r.metrics[name]
+	for _, full := range c.names {
+		if !strings.HasPrefix(full, p) {
+			continue
+		}
+		name := full[len(p):]
+		s.names = append(s.names, name)
+		m := c.metrics[full]
 		s.help[name] = m.help
 		s.kinds[name] = m.kind
 		switch m.kind {
@@ -247,19 +295,23 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 	}
 	// Rule 2: declared cross-counter invariants.
-	for _, cl := range r.clamps {
-		lo, up := cl[0], cl[1]
+	for _, cl := range c.clamps {
+		if !strings.HasPrefix(cl[0], p) || !strings.HasPrefix(cl[1], p) {
+			continue
+		}
+		lo, up := cl[0][len(p):], cl[1][len(p):]
 		if s.Counters[lo] > s.Counters[up] {
 			s.Counters[lo] = s.Counters[up]
 		}
 	}
 	// Rule 3: monotonic against the previous snapshot, so rates derived
-	// from successive snapshots never go negative.
+	// from successive snapshots never go negative. The floor is keyed by
+	// fully-qualified name so prefixed and parent views agree.
 	for name, v := range s.Counters {
-		if prev := r.lastC[name]; v < prev {
+		if prev := c.lastC[p+name]; v < prev {
 			s.Counters[name] = prev
 		} else {
-			r.lastC[name] = v
+			c.lastC[p+name] = v
 		}
 	}
 	return s

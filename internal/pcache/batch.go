@@ -1,0 +1,268 @@
+package pcache
+
+// Batched accesses: many reads or writes served in one pass, grouped
+// by bank and line so each bank lock is taken once per batch and each
+// distinct line is tag-probed, checked and moved through its protected
+// array once, however many ops touch it. This is the multi-op
+// entrypoint the sharded store's ReadBatch/WriteBatch amortisation
+// rides on: the per-access costs a single-op path pays k times — lock
+// acquisition, tag lookup, the horizontal-code check of every word in
+// the line, and (for writes) the vertical-parity delta updates of a
+// full line store — are paid once per distinct line instead.
+
+import "sort"
+
+// ReadOp is one read of a batch: Dst receives len(Dst) bytes at Addr
+// (the span must not cross a line boundary, as with ReadInto), and Err
+// receives the per-op outcome. Err is overwritten on every batch call.
+type ReadOp struct {
+	Addr uint64
+	Dst  []byte
+	Err  error
+}
+
+// WriteOp is one write of a batch: len(Data) bytes are stored at Addr
+// (the span must not cross a line boundary, as with Write), and Err
+// receives the per-op outcome. Err is overwritten on every batch call.
+type WriteOp struct {
+	Addr uint64
+	Data []byte
+	Err  error
+}
+
+// batchOrder validates every op's span, stamps per-op errors through
+// setErr, and returns the surviving op indices sorted by (bank, line).
+// The sort is stable, so ops on the same line keep their batch order —
+// overlapping same-line writes apply exactly as serial issue would.
+func (c *Cache) batchOrder(n int, addrOf func(i int) uint64, sizeOf func(i int) int,
+	setErr func(i int, err error)) (idx []int, failed int) {
+	idx = make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if err := c.checkSpan(addrOf(i), sizeOf(i)); err != nil {
+			setErr(i, err)
+			failed++
+			continue
+		}
+		setErr(i, nil)
+		idx = append(idx, i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		la, lb := c.lineAddr(addrOf(idx[a])), c.lineAddr(addrOf(idx[b]))
+		ba, bb := c.setOf(la)/c.setsPerBank, c.setOf(lb)/c.setsPerBank
+		if ba != bb {
+			return ba < bb
+		}
+		return la < lb
+	})
+	return idx, failed
+}
+
+// ReadBatch serves every op, grouped by bank and line: one bank lock
+// acquisition per bank touched, one tag lookup and one protected line
+// read-out per distinct line. Every op reads exactly the bytes serial
+// issue would read; ops on the same line are served in batch order.
+// Ops on different lines are reordered by (bank, line), so replacement
+// decisions — and therefore the hit/miss split and eviction timing —
+// may differ from strict serial issue; cached-plus-backing content
+// never does. A group sharing a failing line reports the failure on
+// every op while detecting it once. Per-op outcomes land in each op's
+// Err field; the return value counts failed ops. Safe for concurrent
+// use; ops in one batch must not be aliased by another concurrent
+// batch.
+func (c *Cache) ReadBatch(ops []ReadOp) (failed int) {
+	idx, failed := c.batchOrder(len(ops),
+		func(i int) uint64 { return ops[i].Addr },
+		func(i int) int { return len(ops[i].Dst) },
+		func(i int, err error) { ops[i].Err = err })
+	for start := 0; start < len(idx); {
+		line := c.lineAddr(ops[idx[start]].Addr)
+		b, _ := c.bankOf(c.setOf(line))
+		end := start
+		for end < len(idx) {
+			l := c.lineAddr(ops[idx[end]].Addr)
+			if bb, _ := c.bankOf(c.setOf(l)); bb != b {
+				break
+			}
+			end++
+		}
+		failed += c.readBankRun(b, ops, idx[start:end])
+		start = end
+	}
+	return failed
+}
+
+// readBankRun serves one bank's slice of the batch under a single
+// exclusive lock acquisition.
+func (c *Cache) readBankRun(b *bank, ops []ReadOp, run []int) (failed int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for start := 0; start < len(run); {
+		line := c.lineAddr(ops[run[start]].Addr)
+		end := start
+		for end < len(run) && c.lineAddr(ops[run[end]].Addr) == line {
+			end++
+		}
+		failed += c.readLineGroupLocked(b, line, ops, run[start:end])
+		start = end
+	}
+	return failed
+}
+
+// readLineGroupLocked serves every op of one line with a single tag
+// lookup and a single protected read-out. Accounting mirrors serial
+// issue: on a miss the first op pays the fill, the rest hit the line
+// it brought in; on a decommissioned set every op counts as a
+// bypassed miss.
+func (c *Cache) readLineGroupLocked(b *bank, line uint64, ops []ReadOp, group []int) int {
+	k := uint64(len(group))
+	ls := c.setOf(line) % c.setsPerBank
+	b.accesses.Add(k)
+	fail := func(err error) int {
+		for _, i := range group {
+			ops[i].Err = err
+		}
+		return len(group)
+	}
+	way, err := c.lookupLocked(b, ls, c.tagOf(line))
+	if err != nil {
+		return fail(err)
+	}
+	if way >= 0 {
+		b.hits.Add(k)
+	} else {
+		var ok bool
+		way, ok, err = c.fillLocked(b, ls, line)
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			// Every way decommissioned: serve the whole group from one
+			// backing fetch.
+			c.misses.Add(k)
+			c.bypassed.Add(k)
+			buf := c.backing.ReadLine(line << c.lineShift)
+			for _, i := range group {
+				off := int(ops[i].Addr) & (c.cfg.LineBytes - 1)
+				copy(ops[i].Dst, buf[off:off+len(ops[i].Dst)])
+			}
+			return 0
+		}
+		c.misses.Add(1)
+		if k > 1 {
+			b.hits.Add(k - 1)
+		}
+	}
+	b.touch(ls, way, c.cfg.Ways)
+	if err := c.readLineLocked(b, ls, way, b.lineBuf); err != nil {
+		return fail(err)
+	}
+	for _, i := range group {
+		off := int(ops[i].Addr) & (c.cfg.LineBytes - 1)
+		copy(ops[i].Dst, b.lineBuf[off:off+len(ops[i].Dst)])
+	}
+	return 0
+}
+
+// WriteBatch stores every op, grouped by bank and line: one bank lock
+// acquisition per bank touched and, per distinct line, one tag lookup,
+// one read-modify-write of the protected line (one set of
+// vertical-parity delta updates) and one dirty-tag store, however many
+// ops patch that line. Ops on the same line apply in batch order; ops
+// on different lines are reordered by (bank, line), with the same
+// content-equivalence guarantee as ReadBatch. A group sharing a
+// failing line reports the failure on every op while detecting it
+// once. Per-op outcomes land in each op's Err field; the return value
+// counts failed ops. Safe for concurrent use.
+func (c *Cache) WriteBatch(ops []WriteOp) (failed int) {
+	idx, failed := c.batchOrder(len(ops),
+		func(i int) uint64 { return ops[i].Addr },
+		func(i int) int { return len(ops[i].Data) },
+		func(i int, err error) { ops[i].Err = err })
+	for start := 0; start < len(idx); {
+		line := c.lineAddr(ops[idx[start]].Addr)
+		b, _ := c.bankOf(c.setOf(line))
+		end := start
+		for end < len(idx) {
+			l := c.lineAddr(ops[idx[end]].Addr)
+			if bb, _ := c.bankOf(c.setOf(l)); bb != b {
+				break
+			}
+			end++
+		}
+		failed += c.writeBankRun(b, ops, idx[start:end])
+		start = end
+	}
+	return failed
+}
+
+func (c *Cache) writeBankRun(b *bank, ops []WriteOp, run []int) (failed int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for start := 0; start < len(run); {
+		line := c.lineAddr(ops[run[start]].Addr)
+		end := start
+		for end < len(run) && c.lineAddr(ops[run[end]].Addr) == line {
+			end++
+		}
+		failed += c.writeLineGroupLocked(b, line, ops, run[start:end])
+		start = end
+	}
+	return failed
+}
+
+func (c *Cache) writeLineGroupLocked(b *bank, line uint64, ops []WriteOp, group []int) int {
+	k := uint64(len(group))
+	ls := c.setOf(line) % c.setsPerBank
+	b.accesses.Add(k)
+	fail := func(err error) int {
+		for _, i := range group {
+			ops[i].Err = err
+		}
+		return len(group)
+	}
+	way, err := c.lookupLocked(b, ls, c.tagOf(line))
+	if err != nil {
+		return fail(err)
+	}
+	if way >= 0 {
+		b.hits.Add(k)
+	} else {
+		var ok bool
+		way, ok, err = c.fillLocked(b, ls, line)
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			// Decommissioned set: one read-modify-write through to
+			// backing carries every patch, in batch order.
+			c.misses.Add(k)
+			c.bypassed.Add(k)
+			buf := c.backing.ReadLine(line << c.lineShift)
+			for _, i := range group {
+				off := int(ops[i].Addr) & (c.cfg.LineBytes - 1)
+				copy(buf[off:], ops[i].Data)
+			}
+			c.backing.WriteLine(line<<c.lineShift, buf)
+			return 0
+		}
+		c.misses.Add(1)
+		if k > 1 {
+			b.hits.Add(k - 1)
+		}
+	}
+	b.touch(ls, way, c.cfg.Ways)
+	if err := c.readLineLocked(b, ls, way, b.lineBuf); err != nil {
+		return fail(err)
+	}
+	for _, i := range group {
+		off := int(ops[i].Addr) & (c.cfg.LineBytes - 1)
+		copy(b.lineBuf[off:], ops[i].Data)
+	}
+	if err := c.writeLineLocked(b, ls, way, b.lineBuf); err != nil {
+		return fail(err)
+	}
+	if err := c.writeTagLocked(b, ls, way, tagValidBit|tagDirtyBit|c.tagOf(line)<<tagShift); err != nil {
+		return fail(err)
+	}
+	return 0
+}

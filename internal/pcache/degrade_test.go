@@ -25,7 +25,7 @@ func beyondCoverageCache(t *testing.T) (*Cache, *MapBacking) {
 	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	da := c.DataArray()
+	da, _ := c.BankArrays(0)
 	lay := da.Layout()
 	da.FlipBit(0, lay.PhysColumn(0, 0))
 	da.FlipBit(32, lay.PhysColumn(0, 8))
@@ -177,7 +177,7 @@ func TestRecoverWordRungAtCacheLevel(t *testing.T) {
 	if err := c.Write(0, []byte{0xAB}); err != nil {
 		t.Fatal(err)
 	}
-	da := c.DataArray()
+	da, _ := c.BankArrays(c.BankOf(0))
 	recBefore := da.Stats().Recoveries
 
 	// Single-bit data fault in set 0's line: the word rung fixes it
@@ -195,7 +195,7 @@ func TestRecoverWordRungAtCacheLevel(t *testing.T) {
 	}
 
 	// Tag fault: same rung, tag flavour.
-	ta := c.TagArray()
+	_, ta := c.BankArrays(c.BankOf(0))
 	ta.FlipBit(0, 0)
 	if !c.RecoverWord(ArrayTags, 0, 0) {
 		t.Fatal("tag word rung failed")

@@ -122,8 +122,8 @@ func TestTransparentErrorRecoveryInData(t *testing.T) {
 	if err := c.Write(0x2000, payload); err != nil {
 		t.Fatal(err)
 	}
-	// Inject a 16x16 clustered error into the data array.
-	da := c.DataArray()
+	// Inject a 16x16 clustered error into the bank holding 0x2000's set.
+	da, _ := c.BankArrays(c.BankOf(0))
 	for r := 0; r < 16 && r < da.Rows(); r++ {
 		for col := 0; col < 16; col++ {
 			da.FlipBit(r, col)
@@ -146,7 +146,7 @@ func TestTransparentErrorRecoveryInTags(t *testing.T) {
 	if err := c.Write(0x3000, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	ta := c.TagArray()
+	_, ta := c.BankArrays(c.BankOf(0))
 	ta.FlipBit(0, 0) // single-bit tag error somewhere in set 0
 	got, err := c.Read(0x3000, 3)
 	if err != nil {
@@ -160,7 +160,8 @@ func TestTransparentErrorRecoveryInTags(t *testing.T) {
 func TestScrub(t *testing.T) {
 	c, _ := smallCache(t, false)
 	_ = c.Write(0, []byte{9})
-	c.DataArray().FlipBit(0, 3)
+	da, _ := c.BankArrays(c.BankOf(0))
+	da.FlipBit(0, 3)
 	if !c.Scrub() {
 		t.Fatal("scrub failed")
 	}
@@ -193,7 +194,7 @@ func TestRandomisedAgainstReferenceModel(t *testing.T) {
 			// accumulation can build undetectable code-valid patterns,
 			// which are beyond 2D coverage — the flat-map equivalence
 			// asserted here only holds within coverage.)
-			da := c.DataArray()
+			da, _ := c.BankArrays(rng.Intn(c.NumBanks()))
 			r, col := rng.Intn(da.Rows()), rng.Intn(da.RowBits())
 			w, _ := da.Layout().Locate(col)
 			if _, ok := da.TryRead(r, w); ok {
@@ -236,8 +237,8 @@ func TestUncorrectableSurfacesAndRepairs(t *testing.T) {
 	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt far beyond coverage: a 40x40 solid block in the data array.
-	da := c.DataArray()
+	// Corrupt far beyond coverage: a solid block in 0x4000's bank.
+	da, _ := c.BankArrays(c.BankOf(0))
 	for r := 0; r < 32 && r < da.Rows(); r++ {
 		for col := 0; col < 200; col++ {
 			da.FlipBit(r, col)

@@ -1,0 +1,59 @@
+package resilience
+
+// Batched accesses through the escalation ladder: the cache's
+// bank-grouped batch path serves the common (fault-free) case with
+// amortised locking and line movement; any op that surfaces a
+// detected-uncorrectable error is then re-driven individually through
+// the ladder, exactly as a single access would be — each failed op
+// gets its own RecoveryStart/End bracket, DUE accounting, and ladder
+// latency observation.
+
+import (
+	"context"
+
+	"twodcache/internal/pcache"
+)
+
+// ReadBatch serves every op through the cache's batched path, then
+// runs the escalation ladder on each op that tripped a machine check.
+// Per-op outcomes land in each op's Err field; the return value counts
+// ops that still failed after recovery. Safe for concurrent use.
+func (e *Engine) ReadBatch(ops []pcache.ReadOp) (failed int) {
+	if e.cache.ReadBatch(ops) == 0 {
+		return 0
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.Err == nil {
+			continue
+		}
+		op.Err = e.ladderCtx(context.Background(), op.Err,
+			func() error { return e.cache.ReadInto(op.Addr, op.Dst) })
+		if op.Err != nil {
+			failed++
+		}
+	}
+	return failed
+}
+
+// WriteBatch stores every op through the cache's batched path, then
+// runs the escalation ladder on each op that tripped a machine check.
+// Per-op outcomes land in each op's Err field; the return value counts
+// ops that still failed after recovery. Safe for concurrent use.
+func (e *Engine) WriteBatch(ops []pcache.WriteOp) (failed int) {
+	if e.cache.WriteBatch(ops) == 0 {
+		return 0
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.Err == nil {
+			continue
+		}
+		op.Err = e.ladderCtx(context.Background(), op.Err,
+			func() error { return e.cache.Write(op.Addr, op.Data) })
+		if op.Err != nil {
+			failed++
+		}
+	}
+	return failed
+}

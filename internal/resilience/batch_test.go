@@ -1,0 +1,79 @@
+package resilience
+
+import (
+	"testing"
+
+	"twodcache/internal/pcache"
+)
+
+// TestReadBatchLaddersFailedOps: a batch over a planted beyond-coverage
+// fault must come back fully served — clean ops straight from the
+// batch path, the faulting op re-driven through the escalation ladder.
+func TestReadBatchLaddersFailedOps(t *testing.T) {
+	e, _ := newEngine(t, bigCfg, Config{})
+	plantBeyondCoverage(t, e)
+	// A clean line in another set, plus reads over both planted lines.
+	if err := e.Cache().Write(5*64, []byte{0x77}); err != nil {
+		t.Fatal(err)
+	}
+	ops := []pcache.ReadOp{
+		{Addr: 0, Dst: make([]byte, 1)},
+		{Addr: 5 * 64, Dst: make([]byte, 1)},
+		{Addr: 16 * 64, Dst: make([]byte, 1)},
+	}
+	if failed := e.ReadBatch(ops); failed != 0 {
+		for i, op := range ops {
+			t.Logf("op %d: err=%v", i, op.Err)
+		}
+		t.Fatalf("batch failed %d ops after recovery", failed)
+	}
+	if ops[0].Dst[0] != 0x11 || ops[1].Dst[0] != 0x77 || ops[2].Dst[0] != 0x22 {
+		t.Fatalf("wrong bytes: %x %x %x", ops[0].Dst, ops[1].Dst, ops[2].Dst)
+	}
+	if r := e.Report(); r.DUEs == 0 {
+		t.Fatal("no DUE entered the ladder — the fault was not exercised")
+	}
+}
+
+// TestWriteBatchLaddersFailedOps mirrors the read case for stores.
+func TestWriteBatchLaddersFailedOps(t *testing.T) {
+	e, _ := newEngine(t, bigCfg, Config{})
+	plantBeyondCoverage(t, e)
+	ops := []pcache.WriteOp{
+		{Addr: 0, Data: []byte{0xAA}},
+		{Addr: 16 * 64, Data: []byte{0xBB}},
+	}
+	if failed := e.WriteBatch(ops); failed != 0 {
+		for i, op := range ops {
+			t.Logf("op %d: err=%v", i, op.Err)
+		}
+		t.Fatalf("batch failed %d ops after recovery", failed)
+	}
+	got, err := e.Read(0, 1)
+	if err != nil || got[0] != 0xAA {
+		t.Fatalf("readback: %x %v", got, err)
+	}
+	got, err = e.Read(16*64, 1)
+	if err != nil || got[0] != 0xBB {
+		t.Fatalf("readback: %x %v", got, err)
+	}
+}
+
+// TestBatchPropagatesSpanErrors: non-DUE failures (bad spans) must not
+// enter the ladder and must stay per-op.
+func TestBatchPropagatesSpanErrors(t *testing.T) {
+	e, _ := newEngine(t, bigCfg, Config{})
+	ops := []pcache.ReadOp{
+		{Addr: 60, Dst: make([]byte, 8)}, // crosses a line boundary
+		{Addr: 0, Dst: make([]byte, 1)},
+	}
+	if failed := e.ReadBatch(ops); failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	if ops[0].Err == nil || ops[1].Err != nil {
+		t.Fatalf("per-op errors wrong: %v / %v", ops[0].Err, ops[1].Err)
+	}
+	if r := e.Report(); r.DUEs != 0 {
+		t.Fatalf("span error entered the ladder: %+v", r)
+	}
+}

@@ -28,7 +28,7 @@ func plantPersistentDUE(t *testing.T, e *Engine) {
 	if err := c.Write(16*64, []byte{0xA5}); err != nil {
 		t.Fatal(err)
 	}
-	da := c.DataArray()
+	da, _ := c.BankArrays(0)
 	lay := da.Layout()
 	da.FlipBit(0, lay.PhysColumn(0, 0))
 	da.FlipBit(32, lay.PhysColumn(0, 8))

@@ -190,7 +190,7 @@ func (e *Engine) transitionLocked(bank int, b *bankBreaker, to breakerState, rea
 		e.breakersOpen.Add(-1)
 	}
 	e.breakerTransitions.Inc()
-	e.sink.BreakerTransition(bank, from.String(), to.String(), reason)
+	e.snk().BreakerTransition(bank, from.String(), to.String(), reason)
 }
 
 // BreakerState reports bank's breaker state ("closed", "open",

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twodcache/internal/fault"
@@ -109,7 +110,11 @@ type Engine struct {
 	cfg     Config
 	clock   func() time.Time
 	metrics *obs.Registry
-	sink    obs.Sink
+
+	// sink holds the structured event sink behind an atomic pointer so
+	// SetEventSink can swap it while ladders, sweeps, and breakers are
+	// emitting. Always non-nil (NopSink by default); read via snk().
+	sink atomic.Pointer[obs.Sink]
 
 	// remap state: the accumulated faulty way-rows presented to the
 	// redundancy allocator, and which ways already consumed their one
@@ -186,54 +191,106 @@ func New(c *pcache.Cache, cfg Config) *Engine {
 		cfg:          cfg,
 		clock:        clock,
 		metrics:      reg,
-		sink:         sink,
 		remappedOnce: map[int]bool{},
 		flights:      map[int]*flight{},
 		breakers:     make([]bankBreaker, c.NumBanks()),
 		stall:        cfg.RecoveryStall,
 
-		dues:          reg.Counter(metricDUEs, "detected-uncorrectable events entering the ladder"),
-		retries:       reg.Counter(metricRetries, "rung-1 access re-issues"),
-		retryHits:     reg.Counter(metricRetryHits, "accesses rescued by a bare retry"),
-		wordAttempts:  reg.Counter(metricWordAttempts, "rung-2 targeted word recoveries attempted"),
-		wordHits:      reg.Counter(metricWordHits, "accesses rescued by word recovery"),
-		fullAttempts:  reg.Counter(metricFullAttempts, "rung-3 full 2D recoveries attempted"),
-		fullHits:      reg.Counter(metricFullHits, "accesses rescued by full 2D recovery"),
-		decommissions: reg.Counter(metricDecommissions, "ways retired by graceful degradation"),
-		remaps:        reg.Counter(metricRemaps, "retired ways remapped to spare rows"),
-		exhausted:     reg.Counter(metricExhausted, "ladder runs that failed even after degradation"),
-		ladderLatency: reg.Histogram(metricLadderSeconds, "DUE-to-resolution ladder latency"),
+		dues:          new(obs.Counter),
+		retries:       new(obs.Counter),
+		retryHits:     new(obs.Counter),
+		wordAttempts:  new(obs.Counter),
+		wordHits:      new(obs.Counter),
+		fullAttempts:  new(obs.Counter),
+		fullHits:      new(obs.Counter),
+		decommissions: new(obs.Counter),
+		remaps:        new(obs.Counter),
+		exhausted:     new(obs.Counter),
+		ladderLatency: obs.MustHistogram(),
 
-		coalesced:          reg.Counter(metricCoalesced, "requests coalesced onto an in-flight bank repair"),
-		sheds:              reg.Counter(metricSheds, "repairs routed straight to degrade by an open breaker"),
-		breakerTrips:       reg.Counter(metricBreakerTrips, "breaker transitions into the open state"),
-		breakerTransitions: reg.Counter(metricBreakerTransitions, "all breaker state transitions"),
-		watchdogFires:      reg.Counter(metricWatchdogFires, "stuck repairs force-escalated by the watchdog"),
-		deadlineAborts:     reg.Counter(metricDeadlineAborts, "ladder runs abandoned at the caller's deadline"),
-		breakersOpen:       reg.Gauge(metricBreakersOpen, "banks currently behind an open breaker"),
+		coalesced:          new(obs.Counter),
+		sheds:              new(obs.Counter),
+		breakerTrips:       new(obs.Counter),
+		breakerTransitions: new(obs.Counter),
+		watchdogFires:      new(obs.Counter),
+		deadlineAborts:     new(obs.Counter),
+		breakersOpen:       new(obs.Gauge),
 
-		scrubPasses:   reg.Counter(metricScrubPasses, "completed scrub sweeps"),
-		scrubBackoffs: reg.Counter(metricScrubBackoffs, "sweeps deferred under high traffic"),
-		scrubVictims:  reg.Counter(metricScrubVictims, "unrepairable ways retired by sweeps"),
-		scrubLatency:  reg.Histogram(metricScrubSeconds, "whole-sweep scrub latency"),
+		scrubPasses:   new(obs.Counter),
+		scrubBackoffs: new(obs.Counter),
+		scrubVictims:  new(obs.Counter),
+		scrubLatency:  obs.MustHistogram(),
 	}
+	e.RegisterMetrics(reg)
+	e.SetEventSink(sink)
+	return e
+}
+
+// RegisterMetrics wires the engine's instrumentation — and, through it,
+// the scrubber's and the cache's — into r. New registers into
+// cfg.Metrics automatically; call this only to mirror the engine into
+// an additional registry (a sharded store labels every shard's engine
+// into one shared registry through prefixed views). Registering the
+// same engine twice into one registry panics on the duplicate names.
+// Dependent counters register — and are therefore snapshotted — before
+// their upper bounds, and ClampLE invariants back them up.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc(metricDUEs, "detected-uncorrectable events entering the ladder", e.dues.Load)
+	r.CounterFunc(metricRetries, "rung-1 access re-issues", e.retries.Load)
+	r.CounterFunc(metricRetryHits, "accesses rescued by a bare retry", e.retryHits.Load)
+	r.CounterFunc(metricWordAttempts, "rung-2 targeted word recoveries attempted", e.wordAttempts.Load)
+	r.CounterFunc(metricWordHits, "accesses rescued by word recovery", e.wordHits.Load)
+	r.CounterFunc(metricFullAttempts, "rung-3 full 2D recoveries attempted", e.fullAttempts.Load)
+	r.CounterFunc(metricFullHits, "accesses rescued by full 2D recovery", e.fullHits.Load)
+	r.CounterFunc(metricDecommissions, "ways retired by graceful degradation", e.decommissions.Load)
+	r.CounterFunc(metricRemaps, "retired ways remapped to spare rows", e.remaps.Load)
+	r.CounterFunc(metricExhausted, "ladder runs that failed even after degradation", e.exhausted.Load)
+	r.AttachHistogram(metricLadderSeconds, "DUE-to-resolution ladder latency", e.ladderLatency)
+
+	r.CounterFunc(metricCoalesced, "requests coalesced onto an in-flight bank repair", e.coalesced.Load)
+	r.CounterFunc(metricSheds, "repairs routed straight to degrade by an open breaker", e.sheds.Load)
+	r.CounterFunc(metricBreakerTrips, "breaker transitions into the open state", e.breakerTrips.Load)
+	r.CounterFunc(metricBreakerTransitions, "all breaker state transitions", e.breakerTransitions.Load)
+	r.CounterFunc(metricWatchdogFires, "stuck repairs force-escalated by the watchdog", e.watchdogFires.Load)
+	r.CounterFunc(metricDeadlineAborts, "ladder runs abandoned at the caller's deadline", e.deadlineAborts.Load)
+	r.GaugeFunc(metricBreakersOpen, "banks currently behind an open breaker", e.breakersOpen.Load)
+
+	r.CounterFunc(metricScrubPasses, "completed scrub sweeps", e.scrubPasses.Load)
+	r.CounterFunc(metricScrubBackoffs, "sweeps deferred under high traffic", e.scrubBackoffs.Load)
+	r.CounterFunc(metricScrubVictims, "unrepairable ways retired by sweeps", e.scrubVictims.Load)
+	r.AttachHistogram(metricScrubSeconds, "whole-sweep scrub latency", e.scrubLatency)
+
 	// The success count of a rung can never exceed its attempts, remaps
 	// never exceed decommissions, and no rung outcome exceeds the DUEs
 	// that entered the ladder: declare it so snapshots enforce it.
-	reg.ClampLE(metricRetryHits, metricRetries)
-	reg.ClampLE(metricWordHits, metricWordAttempts)
-	reg.ClampLE(metricFullHits, metricFullAttempts)
-	reg.ClampLE(metricRemaps, metricDecommissions)
-	reg.ClampLE(metricExhausted, metricDUEs)
+	r.ClampLE(metricRetryHits, metricRetries)
+	r.ClampLE(metricWordHits, metricWordAttempts)
+	r.ClampLE(metricFullHits, metricFullAttempts)
+	r.ClampLE(metricRemaps, metricDecommissions)
+	r.ClampLE(metricExhausted, metricDUEs)
 	// At most one shed and one deadline abort per ladder run, and every
 	// breaker trip is itself a transition.
-	reg.ClampLE(metricSheds, metricDUEs)
-	reg.ClampLE(metricDeadlineAborts, metricDUEs)
-	reg.ClampLE(metricBreakerTrips, metricBreakerTransitions)
-	c.RegisterMetrics(reg)
-	c.SetEventSink(sink)
-	return e
+	r.ClampLE(metricSheds, metricDUEs)
+	r.ClampLE(metricDeadlineAborts, metricDUEs)
+	r.ClampLE(metricBreakerTrips, metricBreakerTransitions)
+	e.cache.RegisterMetrics(r)
 }
+
+// SetEventSink installs (or, with nil, removes — reverting to the
+// no-op sink) the structured event sink on the engine and its cache.
+// Safe to call concurrently with traffic and in-flight repairs; an
+// event being emitted as the sink swaps lands in exactly one of the
+// two sinks.
+func (e *Engine) SetEventSink(s obs.Sink) {
+	if s == nil {
+		s = obs.Sink(obs.NopSink{})
+	}
+	e.sink.Store(&s)
+	e.cache.SetEventSink(s)
+}
+
+// snk returns the current event sink (never nil).
+func (e *Engine) snk() obs.Sink { return *e.sink.Load() }
 
 // Cache returns the underlying protected cache (for fault injection,
 // statistics, and direct access).
@@ -273,6 +330,26 @@ func (e *Engine) ReadCtx(ctx context.Context, addr uint64, n int) (out []byte, e
 	}
 	return out, nil
 }
+
+// ReadInto fills dst with len(dst) bytes at addr, running the
+// escalation ladder on any detected-uncorrectable error — the
+// allocation-free variant of Read (a clean hit allocates nothing).
+func (e *Engine) ReadInto(addr uint64, dst []byte) error {
+	return e.ReadIntoCtx(context.Background(), addr, dst)
+}
+
+// ReadIntoCtx is ReadInto under a deadline; see ReadCtx for the
+// contract.
+func (e *Engine) ReadIntoCtx(ctx context.Context, addr uint64, dst []byte) error {
+	err := e.cache.ReadInto(addr, dst)
+	if err == nil {
+		return nil
+	}
+	return e.ladderCtx(ctx, err, func() error { return e.cache.ReadInto(addr, dst) })
+}
+
+// Stats returns the underlying cache's coherent counter snapshot.
+func (e *Engine) Stats() pcache.Stats { return e.cache.Stats() }
 
 // Write stores bytes at addr, running the escalation ladder on any
 // detected-uncorrectable error.
@@ -325,12 +402,12 @@ func (e *Engine) ladderCtx(ctx context.Context, err error, attempt func() error)
 		ctx = context.Background()
 	}
 	e.dues.Inc()
-	e.sink.RecoveryStart(ue.Array, ue.Set, ue.Way)
+	e.snk().RecoveryStart(ue.Array, ue.Set, ue.Way)
 	start := e.clock()
 	ferr := e.runLadder(ctx, start, &ue, attempt)
 	d := e.clock().Sub(start)
 	e.ladderLatency.Observe(d)
-	e.sink.RecoveryEnd(ue.Array, ue.Set, ue.Way, ferr == nil, d)
+	e.snk().RecoveryEnd(ue.Array, ue.Set, ue.Way, ferr == nil, d)
 	return ferr
 }
 
@@ -368,7 +445,7 @@ func (e *Engine) runLadder(ctx context.Context, start time.Time, ue **pcache.Unc
 			// Coalesce: wait for the bank's repair under our deadline,
 			// then re-issue against the repaired arrays.
 			e.coalesced.Inc()
-			e.sink.RepairCoalesced((*ue).Array, bank, (*ue).Set, (*ue).Way)
+			e.snk().RepairCoalesced((*ue).Array, bank, (*ue).Set, (*ue).Way)
 			select {
 			case <-fl.done:
 			case <-ctx.Done():
@@ -421,7 +498,7 @@ func (e *Engine) lead(ctx context.Context, fl *flight, ue **pcache.Uncorrectable
 		// Route straight to the degrade/bypass path — bounded work, and
 		// the access still completes against backing.
 		e.sheds.Inc()
-		e.sink.RequestShed(fl.array, fl.bank, fl.set, fl.way)
+		e.snk().RequestShed(fl.array, fl.bank, fl.set, fl.way)
 		return true, e.degradeLoop(ctx, fl, ue, again)
 	}
 
@@ -568,7 +645,7 @@ func (e *Engine) degradeLoop(ctx context.Context, fl *flight, ue **pcache.Uncorr
 func (e *Engine) Degrade(set, way int) (lostDirty bool) {
 	lostDirty = e.cache.Decommission(set, way)
 	e.decommissions.Inc()
-	e.sink.DegradeEpoch(set, way, lostDirty)
+	e.snk().DegradeEpoch(set, way, lostDirty)
 	e.tryRemap(set, way)
 	return lostDirty
 }

@@ -35,7 +35,7 @@ func plantBeyondCoverage(t *testing.T, e *Engine) {
 	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	da := c.DataArray()
+	da, _ := c.BankArrays(0)
 	lay := da.Layout()
 	da.FlipBit(0, lay.PhysColumn(0, 0))
 	da.FlipBit(32, lay.PhysColumn(0, 8))
@@ -71,12 +71,12 @@ func TestRungWordRecovery(t *testing.T) {
 	if err := c.Write(0, []byte{0xAB}); err != nil {
 		t.Fatal(err)
 	}
-	c.DataArray().FlipBit(0, 0)
+	da, _ := c.BankArrays(0)
+	da.FlipBit(0, 0)
 
 	// The attempt fails while set 0's line words are dirty: only the
 	// word rung (SECDED correction in place) can clear it.
 	dirty := func() bool {
-		da := c.DataArray()
 		for w := 0; w < 64/8; w++ {
 			if _, ok := da.TryRead(0, w); !ok {
 				return true
@@ -111,10 +111,11 @@ func TestRungFull2D(t *testing.T) {
 	if err := c.Write(0, []byte{0xCD}); err != nil {
 		t.Fatal(err)
 	}
-	c.DataArray().FlipBit(0, 0)
+	da, _ := c.BankArrays(0)
+	da.FlipBit(0, 0)
 
 	dirty := func() bool {
-		_, ok := c.DataArray().TryRead(0, 0)
+		_, ok := da.TryRead(0, 0)
 		return !ok
 	}
 	err := e.ladder(due(0, 0), func() error {

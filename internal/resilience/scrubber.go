@@ -136,7 +136,7 @@ func (s *Scrubber) sweepCtx(ctx context.Context) (clean, completed bool) {
 	d := s.clock().Sub(start)
 	s.engine.scrubPasses.Inc()
 	s.engine.scrubLatency.Observe(d)
-	s.engine.sink.ScrubPass(c.NumBanks(), clean, retired, d)
+	s.engine.snk().ScrubPass(c.NumBanks(), clean, retired, d)
 	return clean, true
 }
 

@@ -12,7 +12,8 @@ func TestSweepRepairsRecoverableDamage(t *testing.T) {
 	if err := c.Write(0, []byte{0x42}); err != nil {
 		t.Fatal(err)
 	}
-	c.DataArray().FlipBit(0, 3)
+	da, _ := c.BankArrays(0)
+	da.FlipBit(0, 3)
 
 	s := e.NewScrubber(ScrubberConfig{})
 	if !s.Sweep() {

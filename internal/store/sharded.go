@@ -1,0 +1,486 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"twodcache/internal/obs"
+	"twodcache/internal/pcache"
+	"twodcache/internal/resilience"
+)
+
+// Config assembles a sharded store.
+type Config struct {
+	// Shards is the number of independent engine instances the address
+	// space is striped across (a power of two; zero selects 1). Line
+	// addresses are interleaved: line L lands on shard L mod Shards, so
+	// sequential lines spread round-robin and no shard owns a hot
+	// contiguous region.
+	Shards int
+	// Cache is the PER-SHARD cache geometry: total capacity is
+	// Shards × Sets × Ways lines.
+	Cache pcache.Config
+	// Resilience is the per-shard engine template. Metrics, if set, is
+	// the root registry every shard registers into under a "shard<i>_"
+	// prefix (nil selects a fresh one); Sink is wrapped per shard so
+	// event coordinates are globalised before delivery.
+	Resilience resilience.Config
+	// Scrubber, when non-nil, gives every shard its own background
+	// scrubber with this configuration (Start/Stop run them).
+	Scrubber *resilience.ScrubberConfig
+	// Watchdog, when non-nil, gives every shard its own recovery
+	// watchdog with this configuration (Start/Stop run them).
+	Watchdog *resilience.WatchdogConfig
+}
+
+// shard is one fully independent protection domain: its own cache,
+// engine (bank locks, breakers, single-flight table), and optional
+// scrubber and watchdog. Nothing here is shared with other shards.
+type shard struct {
+	engine   *resilience.Engine
+	scrubber *resilience.Scrubber
+	watchdog *resilience.Watchdog
+}
+
+// Sharded stripes line addresses across N independent resilience
+// engines. A storm, an open breaker, or a wedged repair on one shard
+// is invisible to the others: they share no locks, no breaker state,
+// and no scrub or watchdog schedule. All methods are safe for
+// concurrent use.
+type Sharded struct {
+	shards    []*shard
+	lineBytes uint64
+	shardBits uint
+	mask      uint64
+	metrics   *obs.Registry
+	sink      obs.Sink
+	setsPer   int
+	banksPer  int
+}
+
+// New builds a Shards-way sharded store over one backing. Every shard
+// sees the full global address space: its cache addresses are
+// contracted (the shard-selector bits dropped) and re-expanded by a
+// per-shard backing adapter, so the backing observes exactly the
+// addresses the caller used — a 1-shard and an N-shard store over the
+// same workload produce identical backing contents.
+func New(cfg Config, backing pcache.Backing) (*Sharded, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("store: shards %d must be a power of two", cfg.Shards)
+	}
+	if err := cfg.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	root := cfg.Resilience.Metrics
+	if root == nil {
+		root = obs.NewRegistry()
+	}
+	userSink := cfg.Resilience.Sink
+	if userSink == nil {
+		userSink = obs.NopSink{}
+	}
+	s := &Sharded{
+		lineBytes: uint64(cfg.Cache.LineBytes),
+		shardBits: uint(bitsFor(n)),
+		mask:      uint64(n - 1),
+		metrics:   root,
+		sink:      userSink,
+		setsPer:   cfg.Cache.Sets,
+	}
+	for i := 0; i < n; i++ {
+		cache, err := pcache.New(cfg.Cache, &shardBacking{
+			parent:    backing,
+			shard:     uint64(i),
+			shardBits: s.shardBits,
+			lineBytes: s.lineBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		s.banksPer = cache.NumBanks()
+		ecfg := cfg.Resilience
+		ecfg.Metrics = root.WithPrefix(fmt.Sprintf("shard%d_", i))
+		ecfg.Sink = s.wrapSink(userSink, i)
+		sh := &shard{engine: resilience.New(cache, ecfg)}
+		if cfg.Scrubber != nil {
+			sh.scrubber = sh.engine.NewScrubber(*cfg.Scrubber)
+		}
+		if cfg.Watchdog != nil {
+			sh.watchdog = sh.engine.NewWatchdog(*cfg.Watchdog)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	s.registerAggregates(root)
+	return s, nil
+}
+
+// bitsFor returns log2 of a power of two.
+func bitsFor(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Start launches every shard's scrubber and watchdog goroutines (those
+// configured at construction). Pair with Stop.
+func (s *Sharded) Start() {
+	for _, sh := range s.shards {
+		if sh.scrubber != nil {
+			sh.scrubber.Start()
+		}
+		if sh.watchdog != nil {
+			sh.watchdog.Start()
+		}
+	}
+}
+
+// Stop halts every shard's background goroutines and waits for them.
+func (s *Sharded) Stop() {
+	for _, sh := range s.shards {
+		if sh.watchdog != nil {
+			sh.watchdog.Stop()
+		}
+		if sh.scrubber != nil {
+			sh.scrubber.Stop()
+		}
+	}
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardOf maps an address to the shard that owns its line.
+func (s *Sharded) ShardOf(addr uint64) int {
+	return int((addr / s.lineBytes) & s.mask)
+}
+
+// Shard exposes one shard's engine — for inspection (reports, breaker
+// state) and fault injection in tests; production traffic should go
+// through the Sharded methods, which translate addresses.
+func (s *Sharded) Shard(i int) *resilience.Engine { return s.shards[i].engine }
+
+// Metrics returns the root registry: per-shard metrics live under
+// "shard<i>_" prefixes, cross-shard aggregates under "store_".
+func (s *Sharded) Metrics() *obs.Registry { return s.metrics }
+
+// Locate returns the engine owning addr and addr contracted into that
+// shard's local address space — for repair and inspection tooling that
+// must reach one shard's cache directly; normal traffic uses the
+// Sharded methods, which translate addresses themselves.
+func (s *Sharded) Locate(addr uint64) (*resilience.Engine, uint64) {
+	return s.shards[s.ShardOf(addr)].engine, s.local(addr)
+}
+
+// local contracts a global address to the owning shard's address
+// space: the shard-selector bits are dropped from the line number.
+func (s *Sharded) local(addr uint64) uint64 {
+	line, off := addr/s.lineBytes, addr%s.lineBytes
+	return (line>>s.shardBits)*s.lineBytes + off
+}
+
+// Read returns n bytes at addr, recovering faults transparently.
+func (s *Sharded) Read(addr uint64, n int) ([]byte, error) {
+	return s.shards[s.ShardOf(addr)].engine.Read(s.local(addr), n)
+}
+
+// ReadCtx is Read bounded by a context deadline.
+func (s *Sharded) ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error) {
+	return s.shards[s.ShardOf(addr)].engine.ReadCtx(ctx, s.local(addr), n)
+}
+
+// ReadInto reads len(dst) bytes at addr into dst without allocating.
+func (s *Sharded) ReadInto(addr uint64, dst []byte) error {
+	return s.shards[s.ShardOf(addr)].engine.ReadInto(s.local(addr), dst)
+}
+
+// ReadIntoCtx is ReadInto bounded by a context deadline.
+func (s *Sharded) ReadIntoCtx(ctx context.Context, addr uint64, dst []byte) error {
+	return s.shards[s.ShardOf(addr)].engine.ReadIntoCtx(ctx, s.local(addr), dst)
+}
+
+// Write stores data at addr, recovering faults transparently.
+func (s *Sharded) Write(addr uint64, data []byte) error {
+	return s.shards[s.ShardOf(addr)].engine.Write(s.local(addr), data)
+}
+
+// WriteCtx is Write bounded by a context deadline.
+func (s *Sharded) WriteCtx(ctx context.Context, addr uint64, data []byte) error {
+	return s.shards[s.ShardOf(addr)].engine.WriteCtx(ctx, s.local(addr), data)
+}
+
+// ReadBatch groups ops by owning shard and hands each shard its group
+// in one batched call, so the per-bank amortisation composes with
+// sharding. Per-op outcomes land in each op's Err field; the return
+// value counts ops that failed even after recovery.
+func (s *Sharded) ReadBatch(ops []pcache.ReadOp) (failed int) {
+	if len(s.shards) == 1 {
+		return s.shards[0].engine.ReadBatch(ops)
+	}
+	for _, idxs := range s.groupByShard(len(ops), func(i int) uint64 { return ops[i].Addr }) {
+		if len(idxs) == 0 {
+			continue
+		}
+		local := make([]pcache.ReadOp, len(idxs))
+		for j, i := range idxs {
+			local[j] = pcache.ReadOp{Addr: s.local(ops[i].Addr), Dst: ops[i].Dst}
+		}
+		failed += s.shards[s.ShardOf(ops[idxs[0]].Addr)].engine.ReadBatch(local)
+		for j, i := range idxs {
+			ops[i].Err = local[j].Err
+		}
+	}
+	return failed
+}
+
+// WriteBatch groups ops by owning shard and hands each shard its group
+// in one batched call. Within a shard, ops keep their relative order,
+// so same-address writes land last-wins exactly as issued.
+func (s *Sharded) WriteBatch(ops []pcache.WriteOp) (failed int) {
+	if len(s.shards) == 1 {
+		return s.shards[0].engine.WriteBatch(ops)
+	}
+	for _, idxs := range s.groupByShard(len(ops), func(i int) uint64 { return ops[i].Addr }) {
+		if len(idxs) == 0 {
+			continue
+		}
+		local := make([]pcache.WriteOp, len(idxs))
+		for j, i := range idxs {
+			local[j] = pcache.WriteOp{Addr: s.local(ops[i].Addr), Data: ops[i].Data}
+		}
+		failed += s.shards[s.ShardOf(ops[idxs[0]].Addr)].engine.WriteBatch(local)
+		for j, i := range idxs {
+			ops[i].Err = local[j].Err
+		}
+	}
+	return failed
+}
+
+// groupByShard buckets op indices by owning shard, preserving issue
+// order within each bucket.
+func (s *Sharded) groupByShard(n int, addrOf func(int) uint64) [][]int {
+	groups := make([][]int, len(s.shards))
+	for i := 0; i < n; i++ {
+		sh := s.ShardOf(addrOf(i))
+		groups[sh] = append(groups[sh], i)
+	}
+	return groups
+}
+
+// Flush writes back every shard's dirty lines. All shards are flushed
+// even if some fail; the error joins every shard failure.
+func (s *Sharded) Flush() error {
+	var errs []error
+	for i, sh := range s.shards {
+		if err := sh.engine.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// FlushCtx is Flush bounded by a context deadline.
+func (s *Sharded) FlushCtx(ctx context.Context) error {
+	var errs []error
+	for i, sh := range s.shards {
+		if err := sh.engine.FlushCtx(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats sums the per-shard cache counters. Each shard's snapshot is
+// coherent and its counters monotonic, so the sums obey the same
+// invariants (Hits+Misses ≤ Accesses) any single snapshot does.
+func (s *Sharded) Stats() pcache.Stats {
+	var out pcache.Stats
+	for _, sh := range s.shards {
+		st := sh.engine.Stats()
+		out.Accesses += st.Accesses
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Writebacks += st.Writebacks
+		out.ErrorsRecovered += st.ErrorsRecovered
+		out.Uncorrectable += st.Uncorrectable
+		out.Bypassed += st.Bypassed
+		out.DirtyLinesLost += st.DirtyLinesLost
+	}
+	return out
+}
+
+// RegisterMetrics mirrors every shard's instrumentation into r under
+// "shard<i>_" prefixes and registers the cross-shard aggregates. It
+// panics on duplicate names — call it at most once per registry (the
+// construction-time root registry is already populated).
+func (s *Sharded) RegisterMetrics(r *obs.Registry) {
+	for i, sh := range s.shards {
+		sh.engine.RegisterMetrics(r.WithPrefix(fmt.Sprintf("shard%d_", i)))
+	}
+	s.registerAggregates(r)
+}
+
+// registerAggregates registers cross-shard store_* rollups. Outcome
+// counters (hits, misses) are registered — hence snapshot-read —
+// before the access counter, and clamped to it, so a concurrent
+// snapshot can never show more outcomes than accesses.
+func (s *Sharded) registerAggregates(r *obs.Registry) {
+	sum := func(field func(pcache.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, sh := range s.shards {
+				t += field(sh.engine.Stats())
+			}
+			return t
+		}
+	}
+	r.GaugeFunc("store_shards", "independent shards striping the address space",
+		func() int64 { return int64(len(s.shards)) })
+	r.CounterFunc("store_hits_total", "cache hits, all shards",
+		sum(func(st pcache.Stats) uint64 { return st.Hits }))
+	r.CounterFunc("store_misses_total", "cache misses, all shards",
+		sum(func(st pcache.Stats) uint64 { return st.Misses }))
+	r.CounterFunc("store_accesses_total", "cache accesses, all shards",
+		sum(func(st pcache.Stats) uint64 { return st.Accesses }))
+	r.CounterFunc("store_writebacks_total", "dirty writebacks, all shards",
+		sum(func(st pcache.Stats) uint64 { return st.Writebacks }))
+	r.CounterFunc("store_errors_recovered_total", "errors recovered, all shards",
+		sum(func(st pcache.Stats) uint64 { return st.ErrorsRecovered }))
+	r.CounterFunc("store_uncorrectable_total", "machine-check events, all shards",
+		sum(func(st pcache.Stats) uint64 { return st.Uncorrectable }))
+	r.CounterFunc("store_bypassed_total", "bypassed accesses, all shards",
+		sum(func(st pcache.Stats) uint64 { return st.Bypassed }))
+	r.CounterFunc("store_dirty_lines_lost_total", "dirty lines lost, all shards",
+		sum(func(st pcache.Stats) uint64 { return st.DirtyLinesLost }))
+	r.ClampLE("store_hits_total", "store_accesses_total")
+	r.ClampLE("store_misses_total", "store_accesses_total")
+}
+
+// SetEventSink installs s on every shard, wrapped so coordinates are
+// globalised. Nil resets to the no-op sink.
+func (s *Sharded) SetEventSink(sink obs.Sink) {
+	if sink == nil {
+		sink = obs.NopSink{}
+	}
+	s.sink = sink
+	for i, sh := range s.shards {
+		sh.engine.SetEventSink(s.wrapSink(sink, i))
+	}
+}
+
+// wrapSink labels one shard's events before they reach the user sink.
+func (s *Sharded) wrapSink(inner obs.Sink, shard int) obs.Sink {
+	return &shardSink{
+		inner:   inner,
+		label:   fmt.Sprintf("shard%d/", shard),
+		setOff:  shard * s.setsPer,
+		bankOff: shard * s.banksPer,
+	}
+}
+
+// shardBacking adapts the shared parent backing into one shard's
+// contracted address space: global line (L<<shardBits)|shard appears
+// to the shard as local line L, so the parent always sees the
+// caller's original addresses. The adapter is stateless beyond its
+// wiring; concurrency safety is the parent's.
+type shardBacking struct {
+	parent    pcache.Backing
+	shard     uint64
+	shardBits uint
+	lineBytes uint64
+}
+
+func (b *shardBacking) global(addr uint64) uint64 {
+	line := addr / b.lineBytes
+	return (line<<b.shardBits | b.shard) * b.lineBytes
+}
+
+// ReadLine implements pcache.Backing.
+func (b *shardBacking) ReadLine(addr uint64) []byte {
+	return b.parent.ReadLine(b.global(addr))
+}
+
+// WriteLine implements pcache.Backing.
+func (b *shardBacking) WriteLine(addr uint64, data []byte) {
+	b.parent.WriteLine(b.global(addr), data)
+}
+
+// shardSink globalises one shard's event coordinates before handing
+// them to the shared user sink: array names gain a "shard<i>/" prefix
+// and set/bank indices are offset into a global namespace (set S of
+// shard i becomes i×SetsPerShard+S), so a consumer aggregating events
+// from every shard can attribute each one unambiguously. Way indices
+// and unknown coordinates (-1) pass through unchanged.
+type shardSink struct {
+	inner   obs.Sink
+	label   string
+	setOff  int
+	bankOff int
+}
+
+func (s *shardSink) set(v int) int {
+	if v < 0 {
+		return v
+	}
+	return v + s.setOff
+}
+
+func (s *shardSink) bank(v int) int {
+	if v < 0 {
+		return v
+	}
+	return v + s.bankOff
+}
+
+// RecoveryStart implements obs.Sink.
+func (s *shardSink) RecoveryStart(array string, set, way int) {
+	s.inner.RecoveryStart(s.label+array, s.set(set), way)
+}
+
+// RecoveryEnd implements obs.Sink.
+func (s *shardSink) RecoveryEnd(array string, set, way int, success bool, d time.Duration) {
+	s.inner.RecoveryEnd(s.label+array, s.set(set), way, success, d)
+}
+
+// ScrubPass implements obs.Sink.
+func (s *shardSink) ScrubPass(banks int, clean bool, victims int, d time.Duration) {
+	s.inner.ScrubPass(banks, clean, victims, d)
+}
+
+// DegradeEpoch implements obs.Sink.
+func (s *shardSink) DegradeEpoch(set, way int, lostDirty bool) {
+	s.inner.DegradeEpoch(s.set(set), way, lostDirty)
+}
+
+// UncorrectableDetected implements obs.Sink.
+func (s *shardSink) UncorrectableDetected(array string, set, way int) {
+	s.inner.UncorrectableDetected(s.label+array, s.set(set), way)
+}
+
+// BreakerTransition implements obs.Sink.
+func (s *shardSink) BreakerTransition(bank int, from, to, reason string) {
+	s.inner.BreakerTransition(s.bank(bank), from, to, reason)
+}
+
+// RepairCoalesced implements obs.Sink.
+func (s *shardSink) RepairCoalesced(array string, bank, set, way int) {
+	s.inner.RepairCoalesced(s.label+array, s.bank(bank), s.set(set), way)
+}
+
+// RequestShed implements obs.Sink.
+func (s *shardSink) RequestShed(array string, bank, set, way int) {
+	s.inner.RequestShed(s.label+array, s.bank(bank), s.set(set), way)
+}
+
+// WatchdogFire implements obs.Sink.
+func (s *shardSink) WatchdogFire(bank, set, way int, age time.Duration) {
+	s.inner.WatchdogFire(s.bank(bank), s.set(set), way, age)
+}

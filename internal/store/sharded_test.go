@@ -1,0 +1,359 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"twodcache/internal/obs"
+	"twodcache/internal/pcache"
+	"twodcache/internal/resilience"
+)
+
+var testCfg = pcache.Config{Sets: 16, Ways: 2, LineBytes: 64, Banks: 4}
+
+func newSharded(t *testing.T, shards int) (*Sharded, *pcache.MapBacking) {
+	t.Helper()
+	backing := pcache.NewMapBacking(testCfg.LineBytes)
+	s, err := New(Config{Shards: shards, Cache: testCfg}, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, backing
+}
+
+func TestShardedRoutesByLine(t *testing.T) {
+	s, _ := newSharded(t, 4)
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	// Line L lands on shard L mod 4.
+	for line := uint64(0); line < 16; line++ {
+		addr := line*64 + 8
+		if got, want := s.ShardOf(addr), int(line%4); got != want {
+			t.Fatalf("ShardOf(line %d) = %d, want %d", line, got, want)
+		}
+	}
+	// Writes land on the owning shard only.
+	if err := s.Write(5*64, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Shard(1).Stats(); st.Accesses != 1 {
+		t.Fatalf("owning shard saw %d accesses", st.Accesses)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if st := s.Shard(i).Stats(); st.Accesses != 0 {
+			t.Fatalf("shard %d saw %d accesses for another shard's line", i, st.Accesses)
+		}
+	}
+	got, err := s.Read(5*64, 1)
+	if err != nil || got[0] != 0xAB {
+		t.Fatalf("read back %x, %v", got, err)
+	}
+}
+
+func TestShardedBackingSeesGlobalAddresses(t *testing.T) {
+	s, backing := newSharded(t, 4)
+	want := map[uint64]byte{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		line := uint64(rng.Intn(64))
+		v := byte(rng.Intn(256))
+		if err := s.Write(line*64, []byte{v}); err != nil {
+			t.Fatal(err)
+		}
+		want[line] = v
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// After a flush the backing must hold every line at its ORIGINAL
+	// global address — the shard address contraction is invisible.
+	for line, v := range want {
+		if got := backing.ReadLine(line * 64)[0]; got != v {
+			t.Fatalf("backing line %d = %#x, want %#x", line, got, v)
+		}
+	}
+}
+
+func TestShardedBatchRouting(t *testing.T) {
+	s, _ := newSharded(t, 4)
+	const n = 64
+	wops := make([]pcache.WriteOp, n)
+	for i := range wops {
+		wops[i] = pcache.WriteOp{Addr: uint64(i) * 64, Data: []byte{byte(i), byte(i + 1)}}
+	}
+	if failed := s.WriteBatch(wops); failed != 0 {
+		t.Fatalf("WriteBatch failed %d ops", failed)
+	}
+	rops := make([]pcache.ReadOp, n)
+	for i := range rops {
+		rops[i] = pcache.ReadOp{Addr: uint64(i) * 64, Dst: make([]byte, 2)}
+	}
+	if failed := s.ReadBatch(rops); failed != 0 {
+		t.Fatalf("ReadBatch failed %d ops", failed)
+	}
+	for i, op := range rops {
+		if op.Err != nil || !bytes.Equal(op.Dst, []byte{byte(i), byte(i + 1)}) {
+			t.Fatalf("op %d: dst %x err %v", i, op.Dst, op.Err)
+		}
+	}
+	// The batch reached every shard.
+	for i := 0; i < 4; i++ {
+		if st := s.Shard(i).Stats(); st.Accesses == 0 {
+			t.Fatalf("shard %d saw no batch traffic", i)
+		}
+	}
+}
+
+func TestShardedBatchSameLineOrder(t *testing.T) {
+	s, _ := newSharded(t, 4)
+	// Same-address writes in one batch must land last-wins.
+	ops := []pcache.WriteOp{
+		{Addr: 3 * 64, Data: []byte{1}},
+		{Addr: 3 * 64, Data: []byte{2}},
+		{Addr: 3 * 64, Data: []byte{3}},
+	}
+	if failed := s.WriteBatch(ops); failed != 0 {
+		t.Fatalf("failed %d", failed)
+	}
+	got, err := s.Read(3*64, 1)
+	if err != nil || got[0] != 3 {
+		t.Fatalf("got %x, %v; want 03", got, err)
+	}
+}
+
+func TestShardedBatchPerOpErrors(t *testing.T) {
+	s, _ := newSharded(t, 4)
+	ops := []pcache.ReadOp{
+		{Addr: 60, Dst: make([]byte, 8)}, // crosses a line boundary
+		{Addr: 64, Dst: make([]byte, 1)},
+	}
+	if failed := s.ReadBatch(ops); failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	if ops[0].Err == nil || ops[1].Err != nil {
+		t.Fatalf("per-op errors wrong: %v / %v", ops[0].Err, ops[1].Err)
+	}
+}
+
+func TestShardedStatsAndAggregates(t *testing.T) {
+	s, _ := newSharded(t, 2)
+	for i := 0; i < 40; i++ {
+		if err := s.Write(uint64(i)*64, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := s.Read(uint64(i)*64, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Accesses != 80 {
+		t.Fatalf("Accesses = %d, want 80", st.Accesses)
+	}
+	if st.Hits+st.Misses+st.Bypassed != st.Accesses {
+		t.Fatalf("incoherent stats: %+v", st)
+	}
+	if got := s.Shard(0).Stats().Accesses + s.Shard(1).Stats().Accesses; got != st.Accesses {
+		t.Fatalf("shard sum %d != aggregate %d", got, st.Accesses)
+	}
+
+	snap := s.Metrics().Snapshot()
+	if got := snap.Counter("store_accesses_total"); got != 80 {
+		t.Fatalf("store_accesses_total = %d, want 80", got)
+	}
+	if snap.Gauge("store_shards") != 2 {
+		t.Fatalf("store_shards = %d", snap.Gauge("store_shards"))
+	}
+	if snap.Counter("store_hits_total") > snap.Counter("store_accesses_total") {
+		t.Fatal("aggregate hits exceed accesses")
+	}
+	// Per-shard metrics are present under their prefixes and sum to
+	// the aggregate.
+	perShard := snap.Counter("shard0_pcache_accesses_total") + snap.Counter("shard1_pcache_accesses_total")
+	if perShard != 80 {
+		names := snap.Names()
+		t.Fatalf("per-shard accesses sum %d, want 80 (names: %v)", perShard, names[:min(len(names), 12)])
+	}
+}
+
+func TestShardedRegisterMetricsMirror(t *testing.T) {
+	s, _ := newSharded(t, 2)
+	if err := s.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	extra := obs.NewRegistry()
+	s.RegisterMetrics(extra)
+	if got := extra.Snapshot().Counter("store_accesses_total"); got != 1 {
+		t.Fatalf("mirror store_accesses_total = %d, want 1", got)
+	}
+	if got := extra.Snapshot().Counter("shard0_resilience_dues_total"); got != 0 {
+		t.Fatalf("mirror shard0 dues = %d", got)
+	}
+}
+
+func TestShardedCtxVariants(t *testing.T) {
+	s, _ := newSharded(t, 2)
+	ctx := context.Background()
+	if err := s.WriteCtx(ctx, 64, []byte{0x42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadCtx(ctx, 64, 1)
+	if err != nil || got[0] != 0x42 {
+		t.Fatalf("ReadCtx: %x, %v", got, err)
+	}
+	dst := make([]byte, 1)
+	if err := s.ReadIntoCtx(ctx, 64, dst); err != nil || dst[0] != 0x42 {
+		t.Fatalf("ReadIntoCtx: %x, %v", dst, err)
+	}
+	if err := s.ReadInto(64, dst); err != nil || dst[0] != 0x42 {
+		t.Fatalf("ReadInto: %x, %v", dst, err)
+	}
+	if err := s.FlushCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedStartStop(t *testing.T) {
+	backing := pcache.NewMapBacking(testCfg.LineBytes)
+	s, err := New(Config{
+		Shards:   4,
+		Cache:    testCfg,
+		Scrubber: &resilience.ScrubberConfig{Interval: time.Millisecond},
+		Watchdog: &resilience.WatchdogConfig{Budget: 10 * time.Millisecond},
+	}, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	for i := 0; i < 200; i++ {
+		if err := s.Write(uint64(i)*64, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the per-shard scrubbers take at least one pass each.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for i := 0; i < 4; i++ {
+			if s.Shard(i).Report().ScrubPasses == 0 {
+				all = false
+			}
+		}
+		if all || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	for i := 0; i < 4; i++ {
+		if s.Shard(i).Report().ScrubPasses == 0 {
+			t.Fatalf("shard %d scrubber never swept", i)
+		}
+	}
+}
+
+func TestShardedRejectsBadConfig(t *testing.T) {
+	backing := pcache.NewMapBacking(64)
+	if _, err := New(Config{Shards: 3, Cache: testCfg}, backing); err == nil {
+		t.Fatal("3 shards accepted")
+	}
+	if _, err := New(Config{Shards: 2, Cache: pcache.Config{Sets: 5}}, backing); err == nil {
+		t.Fatal("bad cache config accepted")
+	}
+}
+
+func TestShardedZeroShardsIsOne(t *testing.T) {
+	backing := pcache.NewMapBacking(64)
+	s, err := New(Config{Cache: testCfg}, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 1 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	if err := s.Write(0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(0, 1)
+	if err != nil || got[0] != 9 {
+		t.Fatalf("%x, %v", got, err)
+	}
+}
+
+// recordingSink captures array labels and coordinates so the test can
+// check shard globalisation.
+type recordingSink struct {
+	obs.NopSink
+	arrays chan string
+	sets   chan int
+}
+
+func (r *recordingSink) UncorrectableDetected(array string, set, way int) {
+	select {
+	case r.arrays <- array:
+	default:
+	}
+	select {
+	case r.sets <- set:
+	default:
+	}
+}
+
+func TestShardSinkGlobalisesCoordinates(t *testing.T) {
+	sink := &recordingSink{arrays: make(chan string, 8), sets: make(chan int, 8)}
+	backing := pcache.NewMapBacking(64)
+	s, err := New(Config{
+		Shards:     2,
+		Cache:      pcache.Config{Sets: 32, Ways: 2, LineBytes: 64, Banks: 1},
+		Resilience: resilience.Config{Sink: sink},
+	}, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a beyond-coverage double fault on shard 1 and read through
+	// it; the sink must see the shard label and a globalised set index.
+	c := s.Shard(1).Cache()
+	if err := c.Write(0, []byte{0x5A}); err != nil { // shard-local addr
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := c.BankArrays(0)
+	lay := da.Layout()
+	da.FlipBit(0, lay.PhysColumn(0, 0))
+	da.FlipBit(32, lay.PhysColumn(0, 8))
+	if _, err := s.Read(1*64, 1); err != nil { // global line 1 → shard 1
+		t.Fatal(err)
+	}
+	select {
+	case a := <-sink.arrays:
+		if a != "shard1/data" {
+			t.Fatalf("array label = %q, want shard1/data", a)
+		}
+	default:
+		t.Fatal("no UncorrectableDetected event reached the sink")
+	}
+	if set := <-sink.sets; set != 32 { // local set 0 + 1×32
+		t.Fatalf("globalised set = %d, want 32", set)
+	}
+}
+
+// ExampleSharded shows the sharded store serving a striped keyspace.
+func ExampleSharded() {
+	backing := pcache.NewMapBacking(64)
+	s, _ := New(Config{
+		Shards: 4,
+		Cache:  pcache.Config{Sets: 16, Ways: 2, LineBytes: 64},
+	}, backing)
+	_ = s.Write(0x1000, []byte("striped"))
+	got, _ := s.Read(0x1000, 7)
+	fmt.Printf("%s via shard %d of %d\n", got, s.ShardOf(0x1000), s.NumShards())
+	// Output: striped via shard 0 of 4
+}

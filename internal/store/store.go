@@ -1,0 +1,65 @@
+// Package store defines the storage-engine seam of the system: a Store
+// interface over the protected, self-healing cache stack, and a Sharded
+// router that stripes the address space across N fully independent
+// engine instances.
+//
+// The single-engine implementation is resilience.Engine. Sharding
+// exists because every structure in one engine — bank locks, breaker
+// arrays, the scrubber's sweep, the watchdog's scan, the single-flight
+// repair table — is scoped to that engine: a storm that wedges one
+// engine's bank, or a breaker that opens on it, stalls everything
+// behind that engine. With N shards each owning a full stack, the
+// blast radius of a storm is 1/N of the address space, and the other
+// shards never even observe it (no shared locks, no shared breaker
+// state, no shared scrub schedule).
+package store
+
+import (
+	"context"
+
+	"twodcache/internal/obs"
+	"twodcache/internal/pcache"
+	"twodcache/internal/resilience"
+)
+
+// Store is the storage-engine interface: a byte-addressable, protected,
+// self-healing write-back cache over a backing store. Implementations
+// must be safe for concurrent use.
+//
+// Reads and writes must not cross a cache-line boundary (they map to
+// exactly one line, hence one shard). Batch calls amortise locking and
+// line movement across ops and report per-op outcomes in each op's Err
+// field, returning how many ops failed; they are content-equivalent to
+// issuing the ops one at a time, not stats-equivalent (grouping changes
+// replacement order).
+type Store interface {
+	Read(addr uint64, n int) ([]byte, error)
+	ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error)
+	ReadInto(addr uint64, dst []byte) error
+	ReadIntoCtx(ctx context.Context, addr uint64, dst []byte) error
+	Write(addr uint64, data []byte) error
+	WriteCtx(ctx context.Context, addr uint64, data []byte) error
+
+	ReadBatch(ops []pcache.ReadOp) (failed int)
+	WriteBatch(ops []pcache.WriteOp) (failed int)
+
+	Flush() error
+	FlushCtx(ctx context.Context) error
+
+	// Stats returns a coherent snapshot of the cache-level counters
+	// (for Sharded, summed across shards).
+	Stats() pcache.Stats
+	// RegisterMetrics mirrors the store's instrumentation into an
+	// additional registry. It panics on duplicate metric names, so call
+	// it at most once per registry.
+	RegisterMetrics(r *obs.Registry)
+	// SetEventSink installs the structured event sink (nil resets to
+	// the no-op sink). Safe to call while the store is serving traffic.
+	SetEventSink(s obs.Sink)
+}
+
+// Both the single engine and the sharded router satisfy Store.
+var (
+	_ Store = (*resilience.Engine)(nil)
+	_ Store = (*Sharded)(nil)
+)

@@ -84,4 +84,15 @@ esac
 "$bin" -duration 1s -p99-budget 50ms -stats-interval 0 >/dev/null 2>&1 \
     || fail "healthy SLO run exited $?"
 
+# 9. Sharded hard storm: four independent shards under an aggressive
+#    fault rate still finish with zero silent corruptions -> exit 0.
+"$bin" -shards 4 -duration 2s -fault-interval 100us -stats-interval 0 >/dev/null 2>&1 \
+    || fail "4-shard hard-storm run exited $?"
+
+# 10. Recording is a single-engine determinism contract: -record with
+#     -shards >1 must be rejected up front -> exit 2.
+"$bin" -shards 4 -record /dev/null -duration 1s >/dev/null 2>&1
+st=$?
+[ "$st" -eq 2 ] || fail "sharded -record exited $st (want 2)"
+
 echo "test_soak_exit: OK"
