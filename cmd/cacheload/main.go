@@ -1,0 +1,267 @@
+// Cacheload is a closed-loop load generator for cachenetd. It opens N
+// connections with P pipelined worker goroutines each, drives a mixed
+// read/write workload (single ops or fixed-size batches) against a
+// remote store, and — unless verification is off — checks every read
+// against a private shadow model using the loss-epoch protocol over
+// the EPOCH opcode: a mismatch is legitimate only if the owning set's
+// loss epoch advanced since the value was written; otherwise it is
+// SILENT corruption and the run fails with exit 1.
+//
+// Workers own disjoint line ranges, so the shadow needs no cross-worker
+// coordination and every mismatch is attributable. On completion (or
+// SIGINT/SIGTERM) the run reports throughput and the corruption
+// taxonomy, mirroring cmd/soak's accounting over the wire.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"twodcache"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7420", "cachenetd address")
+		conns     = flag.Int("conns", 2, "client connections")
+		pipeline  = flag.Int("pipeline", 4, "pipelined worker goroutines per connection")
+		duration  = flag.Duration("duration", 2*time.Second, "run length")
+		lines     = flag.Int("lines", 4096, "distinct lines in the working set")
+		lineBytes = flag.Int("line", 64, "line size in bytes (must match the server)")
+		writeFrac = flag.Float64("write-frac", 0.3, "fraction of ops that are writes")
+		batch     = flag.Int("batch", 0, "ops per batch frame (0 = single-op frames)")
+		deadline  = flag.Duration("deadline", 0, "per-op deadline (0 = none; single-op mode only)")
+		verify    = flag.Bool("verify", true, "shadow-check reads via the loss-epoch protocol (needs the server's EPOCH oracle)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	workers := *conns * *pipeline
+	if *conns < 1 || *pipeline < 1 || *lines < workers {
+		fmt.Fprintln(os.Stderr, "cacheload: need conns>=1, pipeline>=1, lines>=conns*pipeline")
+		os.Exit(2)
+	}
+
+	clients := make([]*twodcache.NetClient, *conns)
+	for i := range clients {
+		c, err := twodcache.DialNet(*addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cacheload:", err)
+			os.Exit(2)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	// The loss-epoch oracle must be present when verifying.
+	if *verify {
+		if _, err := clients[0].Epoch(0); err != nil {
+			if errors.Is(err, twodcache.ErrNetUnsupported) {
+				fmt.Fprintln(os.Stderr, "cacheload: server has no EPOCH oracle; rerun with -verify=false or fix the server")
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "cacheload: epoch probe:", err)
+			os.Exit(2)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var (
+		ops       atomic.Uint64 // completed ops (each batch op counts)
+		reads     atomic.Uint64
+		writes    atomic.Uint64
+		reported  atomic.Uint64 // ops that surfaced a DUE/bounded abort
+		accounted atomic.Uint64 // mismatches explained by a loss-epoch advance
+		silent    atomic.Uint64 // unaccounted mismatches: must stay zero
+		bytesIO   atomic.Uint64
+		wg        sync.WaitGroup
+	)
+
+	// shadowLine is one verified line: the value acked by the server and
+	// the owning set's loss epoch sampled BEFORE the write was issued.
+	// Sampling before is conservative in the right direction: an epoch
+	// advance during the write window can only turn a real corruption
+	// into "accounted", never the reverse.
+	type shadowLine struct {
+		data  []byte
+		epoch uint64
+	}
+
+	linesPer := *lines / workers
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w / *pipeline]
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			base := uint64(w*linesPer) * uint64(*lineBytes)
+			addrOf := func(i int) uint64 { return base + uint64(i)*uint64(*lineBytes) }
+			shadow := make([]shadowLine, linesPer)
+
+			// verifyRead classifies one read outcome against the shadow.
+			verifyRead := func(li int, got []byte, err error) {
+				if err != nil {
+					reported.Add(1)
+					shadow[li].data = nil // contents now unknown
+					return
+				}
+				if !*verify || shadow[li].data == nil {
+					return
+				}
+				if bytes.Equal(got, shadow[li].data) {
+					return
+				}
+				now, eerr := cl.Epoch(addrOf(li))
+				if eerr == nil && now > shadow[li].epoch {
+					accounted.Add(1)
+					shadow[li].data = nil
+					return
+				}
+				silent.Add(1)
+				fmt.Fprintf(os.Stderr, "cacheload: SILENT corruption at %#x (epoch %d -> %d, %v)\n",
+					addrOf(li), shadow[li].epoch, now, eerr)
+			}
+			// preWrite samples the epoch a write's shadow entry will
+			// carry; on epoch failure verification of that line pauses.
+			preWrite := func(li int) (uint64, bool) {
+				if !*verify {
+					return 0, true
+				}
+				e, err := cl.Epoch(addrOf(li))
+				if err != nil {
+					shadow[li].data = nil
+					return 0, false
+				}
+				return e, true
+			}
+			fill := func(buf []byte) {
+				rng.Read(buf)
+			}
+
+			for ctx.Err() == nil {
+				if *batch > 0 {
+					// Batch mode: one frame, k ops, one amortised store
+					// call on the server.
+					k := *batch
+					if rng.Float64() < *writeFrac {
+						wops := make([]twodcache.BatchWriteOp, k)
+						lis := make([]int, k)
+						epochs := make([]uint64, k)
+						oks := make([]bool, k)
+						for j := 0; j < k; j++ {
+							lis[j] = rng.Intn(linesPer)
+							epochs[j], oks[j] = preWrite(lis[j])
+							d := make([]byte, *lineBytes)
+							fill(d)
+							wops[j] = twodcache.BatchWriteOp{Addr: addrOf(lis[j]), Data: d}
+						}
+						if _, err := cl.WriteBatch(wops); err != nil {
+							return // transport down (drain or test end)
+						}
+						for j := 0; j < k; j++ {
+							writes.Add(1)
+							ops.Add(1)
+							bytesIO.Add(uint64(*lineBytes))
+							if wops[j].Err != nil {
+								reported.Add(1)
+								shadow[lis[j]].data = nil
+								continue
+							}
+							if oks[j] {
+								shadow[lis[j]] = shadowLine{data: wops[j].Data, epoch: epochs[j]}
+							}
+						}
+					} else {
+						rops := make([]twodcache.BatchReadOp, k)
+						lis := make([]int, k)
+						for j := 0; j < k; j++ {
+							lis[j] = rng.Intn(linesPer)
+							rops[j] = twodcache.BatchReadOp{Addr: addrOf(lis[j]), Dst: make([]byte, *lineBytes)}
+						}
+						if _, err := cl.ReadBatch(rops); err != nil {
+							return
+						}
+						for j := 0; j < k; j++ {
+							reads.Add(1)
+							ops.Add(1)
+							bytesIO.Add(uint64(*lineBytes))
+							verifyRead(lis[j], rops[j].Dst, rops[j].Err)
+						}
+					}
+					continue
+				}
+
+				// Single-op mode, optionally deadline-bounded.
+				li := rng.Intn(linesPer)
+				opCtx := context.Background()
+				var opCancel context.CancelFunc = func() {}
+				if *deadline > 0 {
+					opCtx, opCancel = context.WithTimeout(opCtx, *deadline)
+				}
+				if rng.Float64() < *writeFrac {
+					epoch, ok := preWrite(li)
+					d := make([]byte, *lineBytes)
+					fill(d)
+					err := cl.WriteCtx(opCtx, addrOf(li), d)
+					opCancel()
+					if errors.Is(err, twodcache.ErrNetClosed) {
+						return
+					}
+					writes.Add(1)
+					ops.Add(1)
+					bytesIO.Add(uint64(*lineBytes))
+					if err != nil {
+						reported.Add(1)
+						shadow[li].data = nil
+						continue
+					}
+					if ok {
+						shadow[li] = shadowLine{data: d, epoch: epoch}
+					}
+				} else {
+					got, err := cl.ReadCtx(opCtx, addrOf(li), *lineBytes)
+					opCancel()
+					if errors.Is(err, twodcache.ErrNetClosed) {
+						return
+					}
+					reads.Add(1)
+					ops.Add(1)
+					bytesIO.Add(uint64(*lineBytes))
+					verifyRead(li, got, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := ops.Load()
+	fmt.Printf("cacheload: %d ops in %v — %.0f ops/s, %.1f MiB/s (%d reads, %d writes)\n",
+		total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(),
+		float64(bytesIO.Load())/(1<<20)/elapsed.Seconds(),
+		reads.Load(), writes.Load())
+	fmt.Printf("  accounting: %d reported DUE/aborts, %d accounted losses, %d SILENT corruptions\n",
+		reported.Load(), accounted.Load(), silent.Load())
+	if silent.Load() > 0 {
+		fmt.Println("cacheload: FAIL — silent corruption detected")
+		os.Exit(1)
+	}
+	if *verify {
+		fmt.Println("cacheload: PASS — every mismatch accounted for by a loss-epoch advance")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -239,16 +240,29 @@ func main() {
 
 	// Serve the registry over expvar (/debug/vars) and Prometheus text
 	// (/metrics) when asked. The registry snapshots on demand, so both
-	// endpoints always return coherent, clamped values.
+	// endpoints always return coherent, clamped values. The server is
+	// owned — private mux, synchronous Listen so a bad address fails the
+	// run at startup instead of silently soaking without metrics, and an
+	// explicit Shutdown during the drain so no accept loop outlives the
+	// report.
+	var httpSrv *http.Server
 	if *httpAddr != "" {
 		reg.PublishExpvar("twodcache")
-		http.Handle("/metrics", reg.Handler())
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", http.DefaultServeMux)
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soak: http:", err)
+			os.Exit(2)
+		}
+		httpSrv = &http.Server{Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+			if err := httpSrv.Serve(hl); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "soak: http:", err)
 			}
 		}()
-		fmt.Printf("soak: serving /debug/vars and /metrics on %s\n", *httpAddr)
+		fmt.Printf("soak: serving /debug/vars and /metrics on %s\n", hl.Addr())
 	}
 
 	// The run ends at the deadline OR on SIGINT/SIGTERM: either way the
@@ -545,6 +559,13 @@ func main() {
 	<-scrubDone
 	<-stormDone
 	<-statsDone
+	if httpSrv != nil {
+		hctx, hcancel := context.WithTimeout(context.Background(), time.Second)
+		if err := httpSrv.Shutdown(hctx); err != nil {
+			fmt.Fprintln(os.Stderr, "soak: http shutdown:", err)
+		}
+		hcancel()
+	}
 	if err := st.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "soak: final flush:", err)
 	}

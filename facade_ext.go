@@ -8,6 +8,7 @@ import (
 
 	"twodcache/internal/bist"
 	"twodcache/internal/fault"
+	"twodcache/internal/netsrv"
 	"twodcache/internal/obs"
 	"twodcache/internal/pcache"
 	"twodcache/internal/redundancy"
@@ -267,6 +268,40 @@ type BatchWriteOp = pcache.WriteOp
 func NewShardedCache(cfg ShardedCacheConfig, backing CacheBacking) (*ShardedCache, error) {
 	return store.New(cfg, backing)
 }
+
+// --- network serving layer ----------------------------------------------------
+
+// NetServerConfig assembles a NetServer: the CacheStore to serve, the
+// pipelined-single accumulation threshold, per-connection response
+// queue bound, connection cap, metrics registry, and the optional loss
+// epoch oracle behind the EPOCH opcode.
+type NetServerConfig = netsrv.Config
+
+// NetServer serves a CacheStore over TCP with the pipelined
+// length-prefixed binary protocol: per-connection request accumulation
+// onto the bank-amortised batch path, bounded response queues for
+// backpressure, and graceful drain via Shutdown.
+type NetServer = netsrv.Server
+
+// NetClient is the pipelined protocol client — safe for concurrent
+// callers, mirroring the CacheStore read/write/batch/flush surface
+// over one connection. Remote failures unwrap to the same sentinels
+// local calls return.
+type NetClient = netsrv.Client
+
+// Protocol-level failures surfaced by a NetClient.
+var (
+	ErrNetDraining    = netsrv.ErrDraining
+	ErrNetBadRequest  = netsrv.ErrBadRequest
+	ErrNetUnsupported = netsrv.ErrUnsupported
+	ErrNetClosed      = netsrv.ErrClosed
+)
+
+// NewNetServer builds a protocol server over cfg.Store.
+func NewNetServer(cfg NetServerConfig) (*NetServer, error) { return netsrv.NewServer(cfg) }
+
+// DialNet connects a NetClient to a serving NetServer.
+func DialNet(addr string) (*NetClient, error) { return netsrv.Dial(addr) }
 
 // --- observability -----------------------------------------------------------
 

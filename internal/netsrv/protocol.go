@@ -1,0 +1,272 @@
+// Package netsrv is the network serving layer: a pipelined,
+// length-prefixed binary protocol over TCP that puts concurrent remote
+// clients in front of a store.Store — one resilience engine or N
+// shards, unchanged. The wire layer is deliberately thin: the server's
+// job is to accumulate in-flight requests into pcache.ReadOp/WriteOp
+// batches so socket traffic rides the same bank-amortised batch path
+// local callers use, and to keep per-connection memory bounded (a
+// bounded response queue per connection is the backpressure mechanism:
+// when a client stops draining responses, its requests stop being
+// read, and TCP flow control pushes back to the sender).
+//
+// Wire format (all integers big-endian):
+//
+//	frame  := u32 length | u8 opcode | u64 request-id | payload
+//	         (length counts opcode+id+payload, so length >= 9)
+//
+// Requests (deadline is relative nanoseconds, 0 = none):
+//
+//	READ        := u64 deadline | u64 addr | u32 n
+//	WRITE       := u64 deadline | u64 addr | data...
+//	BATCH_READ  := u64 deadline | u32 count | count×(u64 addr, u32 n)
+//	BATCH_WRITE := u64 deadline | u32 count | count×(u64 addr, u32 len, data)
+//	FLUSH       := u64 deadline
+//	STATS       := (empty)
+//	EPOCH       := u64 addr
+//
+// Responses echo the opcode and request id, then carry a status byte:
+//
+//	response := u8 status | payload
+//
+// On stOK: READ carries the data; WRITE and FLUSH are empty;
+// BATCH_READ carries u32 count | count×(u8 status, u32 len, data);
+// BATCH_WRITE carries u32 count | count×u8 status; STATS carries the
+// eight pcache.Stats counters as u64s; EPOCH carries the u64 loss
+// epoch. On any other status the payload is a human-readable error
+// message (batch per-op failures carry status codes only).
+//
+// Responses may arrive in any order; the request id is the correlation
+// key. Clients pipeline by keeping many ids in flight.
+package netsrv
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"twodcache/internal/pcache"
+	"twodcache/internal/resilience"
+)
+
+// Opcodes. Responses echo the request's opcode.
+const (
+	opRead uint8 = iota + 1
+	opWrite
+	opBatchRead
+	opBatchWrite
+	opFlush
+	opStats
+	opEpoch
+)
+
+// Status codes. Everything except stOK maps back to a canonical error
+// on the client so errors.Is works across the wire.
+const (
+	stOK uint8 = iota
+	// stUncorrectable: the ladder exhausted — pcache.ErrUncorrectable.
+	stUncorrectable
+	// stRecoveryInProgress: a bounded request abandoned an in-flight
+	// repair — resilience.ErrRecoveryInProgress.
+	stRecoveryInProgress
+	// stDeadline: the request's deadline expired —
+	// context.DeadlineExceeded.
+	stDeadline
+	// stCanceled: the serving context was cancelled — context.Canceled.
+	stCanceled
+	// stBadRequest: the frame was well-formed but unserviceable (span
+	// crossing a line boundary, zero-length read, oversized batch).
+	stBadRequest
+	// stDraining: the server is shutting down and refused the request.
+	stDraining
+	// stUnsupported: the opcode needs a hook the server lacks (EPOCH
+	// without an oracle).
+	stUnsupported
+	// stError: any other failure; the payload carries the message.
+	stError
+)
+
+// Frame geometry and guard rails.
+const (
+	frameHeader = 4               // the u32 length prefix
+	frameFixed  = 1 + 8           // opcode + request id, covered by length
+	maxFrame    = 4 << 20         // hard cap on one frame's length field
+	maxBatchOps = 1 << 16         // ops per batch frame
+	maxReadLen  = 1 << 20         // bytes per single read
+	readBufSize = 64 * 1024       // bufio sizes on both sides
+	statsFields = 8               // pcache.Stats counters on the wire
+	statsLen    = statsFields * 8 // encoded size
+)
+
+// Protocol-level sentinels surfaced by the client.
+var (
+	// ErrDraining reports that the server refused the request because
+	// it is shutting down.
+	ErrDraining = errors.New("netsrv: server draining")
+	// ErrBadRequest reports a request the server rejected as malformed
+	// or unserviceable.
+	ErrBadRequest = errors.New("netsrv: bad request")
+	// ErrUnsupported reports an opcode the server cannot serve (EPOCH
+	// without an oracle hook).
+	ErrUnsupported = errors.New("netsrv: unsupported operation")
+	// ErrClosed reports that the client connection is closed (by Close
+	// or a transport failure); the wrapped cause is attached.
+	ErrClosed = errors.New("netsrv: connection closed")
+)
+
+// RemoteError is a non-OK response decoded from the wire. It unwraps to
+// the canonical sentinel for its status, so
+// errors.Is(err, pcache.ErrUncorrectable), errors.Is(err,
+// context.DeadlineExceeded), etc. classify remote failures exactly like
+// local ones. Coordinates inside Msg are the server store's — already
+// globalised when the store is sharded.
+type RemoteError struct {
+	Status uint8
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	if e.Msg != "" {
+		return "netsrv: remote: " + e.Msg
+	}
+	return fmt.Sprintf("netsrv: remote status %d", e.Status)
+}
+
+// Unwrap maps the status to its canonical sentinel.
+func (e *RemoteError) Unwrap() error {
+	switch e.Status {
+	case stUncorrectable:
+		return pcache.ErrUncorrectable
+	case stRecoveryInProgress:
+		return resilience.ErrRecoveryInProgress
+	case stDeadline:
+		return context.DeadlineExceeded
+	case stCanceled:
+		return context.Canceled
+	case stBadRequest:
+		return ErrBadRequest
+	case stDraining:
+		return ErrDraining
+	case stUnsupported:
+		return ErrUnsupported
+	}
+	return nil
+}
+
+// statusOf classifies a store error into its wire status.
+func statusOf(err error) uint8 {
+	switch {
+	case err == nil:
+		return stOK
+	case errors.Is(err, resilience.ErrRecoveryInProgress):
+		// Checked before the context sentinels: a RecoveryInProgressError
+		// carries the deadline cause in its chain, and the more specific
+		// classification must win.
+		return stRecoveryInProgress
+	case errors.Is(err, pcache.ErrUncorrectable):
+		return stUncorrectable
+	case errors.Is(err, context.DeadlineExceeded):
+		return stDeadline
+	case errors.Is(err, context.Canceled):
+		return stCanceled
+	}
+	return stError
+}
+
+// statusErr maps a wire status back to an error (nil for stOK).
+func statusErr(status uint8, msg string) error {
+	if status == stOK {
+		return nil
+	}
+	return &RemoteError{Status: status, Msg: msg}
+}
+
+// Big-endian shorthands used throughout the codec.
+func be64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+func be32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
+
+func bePut64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+
+func be64Append(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func be32Append(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+
+// frame is one decoded request or response.
+type frame struct {
+	op      uint8
+	id      uint64
+	payload []byte
+}
+
+// readFrame decodes one frame. The payload is freshly allocated per
+// frame: handlers may retain it (batch accumulation does) until the
+// response is written.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [frameHeader + frameFixed]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	if length < frameFixed || length > maxFrame {
+		return frame{}, fmt.Errorf("netsrv: frame length %d out of range", length)
+	}
+	f := frame{
+		op:      hdr[4],
+		id:      binary.BigEndian.Uint64(hdr[5:13]),
+		payload: make([]byte, length-frameFixed),
+	}
+	if _, err := io.ReadFull(r, f.payload); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}
+
+// appendFrame encodes a frame into buf and returns the extended slice.
+func appendFrame(buf []byte, op uint8, id uint64, payload ...[]byte) []byte {
+	n := 0
+	for _, p := range payload {
+		n += len(p)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameFixed+n))
+	buf = append(buf, op)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	for _, p := range payload {
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// deadlineCtx converts a wire deadline (relative nanoseconds) into a
+// context. A zero deadline returns the parent with a no-op cancel.
+func deadlineCtx(parent context.Context, nanos uint64) (context.Context, context.CancelFunc) {
+	if nanos == 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, time.Duration(nanos))
+}
+
+// encodeStats flattens the eight pcache.Stats counters.
+func encodeStats(st pcache.Stats) []byte {
+	buf := make([]byte, 0, statsLen)
+	for _, v := range [statsFields]uint64{
+		st.Accesses, st.Hits, st.Misses, st.Writebacks,
+		st.ErrorsRecovered, st.Uncorrectable, st.Bypassed, st.DirtyLinesLost,
+	} {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+// decodeStats is the inverse of encodeStats.
+func decodeStats(b []byte) (pcache.Stats, error) {
+	if len(b) != statsLen {
+		return pcache.Stats{}, fmt.Errorf("netsrv: stats payload %d bytes, want %d", len(b), statsLen)
+	}
+	u := func(i int) uint64 { return binary.BigEndian.Uint64(b[i*8:]) }
+	return pcache.Stats{
+		Accesses: u(0), Hits: u(1), Misses: u(2), Writebacks: u(3),
+		ErrorsRecovered: u(4), Uncorrectable: u(5), Bypassed: u(6), DirtyLinesLost: u(7),
+	}, nil
+}

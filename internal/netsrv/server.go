@@ -1,0 +1,595 @@
+package netsrv
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"twodcache/internal/obs"
+	"twodcache/internal/pcache"
+	"twodcache/internal/store"
+)
+
+// Server metric names.
+const (
+	metricConns          = "net_conns"
+	metricConnsTotal     = "net_conns_total"
+	metricConnsRefused   = "net_conns_refused_total"
+	metricRequests       = "net_requests_total"
+	metricBatches        = "net_batches_total"
+	metricBatchOps       = "net_batch_ops_total"
+	metricBytesIn        = "net_bytes_in_total"
+	metricBytesOut       = "net_bytes_out_total"
+	metricReqSeconds     = "net_req_seconds"
+	metricBatchSeconds   = "net_batch_seconds"
+	metricDeadlineAborts = "net_deadline_aborts_total"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the storage engine served over the wire — one resilience
+	// engine or a sharded router, unchanged. Required.
+	Store store.Store
+	// BatchSize is the in-flight accumulation threshold: a connection's
+	// pipelined single READs/WRITEs are gathered into one
+	// ReadBatch/WriteBatch call when this many are pending, or sooner
+	// when the pipe goes idle. Zero selects 32; 1 disables batching.
+	BatchSize int
+	// RespQueue bounds each connection's response queue (frames). A
+	// client that stops draining responses stalls its own reader once
+	// the queue fills — that is the backpressure mechanism. Zero
+	// selects 128.
+	RespQueue int
+	// MaxConns caps concurrent connections; further accepts are closed
+	// immediately and counted in net_conns_refused_total. Zero means
+	// unlimited.
+	MaxConns int
+	// Metrics is the registry the server registers its net_* metrics
+	// into. Nil selects a fresh private registry.
+	Metrics *obs.Registry
+	// EpochOf, when non-nil, serves EPOCH frames: it must return the
+	// loss epoch of the set owning addr (the soak oracle's primitive).
+	// Nil answers EPOCH with stUnsupported.
+	EpochOf func(addr uint64) uint64
+}
+
+// Server serves the binary protocol over TCP, riding the store's
+// batch-amortised path. Safe for concurrent use; one Server may serve
+// several listeners.
+type Server struct {
+	st        store.Store
+	batchSize int
+	respQueue int
+	maxConns  int
+	epochOf   func(uint64) uint64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	draining  bool
+	connWG    sync.WaitGroup
+
+	metrics        *obs.Registry
+	connsGauge     *obs.Gauge
+	connsTotal     *obs.Counter
+	connsRefused   *obs.Counter
+	requests       *obs.Counter
+	batches        *obs.Counter
+	batchOps       *obs.Counter
+	bytesIn        *obs.Counter
+	bytesOut       *obs.Counter
+	reqSeconds     *obs.Histogram
+	batchSeconds   *obs.Histogram
+	deadlineAborts *obs.Counter
+}
+
+// NewServer builds a Server over cfg.Store and registers its metrics.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("netsrv: Config.Store is required")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		st:        cfg.Store,
+		batchSize: cfg.BatchSize,
+		respQueue: cfg.RespQueue,
+		maxConns:  cfg.MaxConns,
+		epochOf:   cfg.EpochOf,
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[*conn]struct{}{},
+		metrics:   reg,
+	}
+	if s.batchSize <= 0 {
+		s.batchSize = 32
+	}
+	if s.respQueue <= 0 {
+		s.respQueue = 128
+	}
+	s.connsGauge = reg.Gauge(metricConns, "currently open client connections")
+	s.connsTotal = reg.Counter(metricConnsTotal, "client connections accepted")
+	s.connsRefused = reg.Counter(metricConnsRefused, "connections refused at the limit or while draining")
+	s.requests = reg.Counter(metricRequests, "request frames served")
+	s.batches = reg.Counter(metricBatches, "store batch calls issued by the wire layer")
+	s.batchOps = reg.Counter(metricBatchOps, "ops carried by wire-layer batch calls")
+	s.bytesIn = reg.Counter(metricBytesIn, "request bytes received")
+	s.bytesOut = reg.Counter(metricBytesOut, "response bytes sent")
+	s.reqSeconds = reg.Histogram(metricReqSeconds, "per-request server-side latency")
+	s.batchSeconds = reg.Histogram(metricBatchSeconds, "per-batch store call latency")
+	s.deadlineAborts = reg.Counter(metricDeadlineAborts, "requests that failed at their deadline")
+	return s, nil
+}
+
+// Metrics returns the registry holding the server's net_* metrics.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Serve accepts connections on l until l fails or Shutdown runs. It
+// returns nil after a graceful shutdown, the accept error otherwise.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return ErrDraining
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		if c, ok := s.addConn(nc); ok {
+			go c.serve()
+		} else {
+			s.connsRefused.Inc()
+			nc.Close()
+		}
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// addConn registers a new connection unless the server is draining or
+// at its connection limit.
+func (s *Server) addConn(nc net.Conn) (*conn, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || (s.maxConns > 0 && len(s.conns) >= s.maxConns) {
+		return nil, false
+	}
+	c := &conn{
+		srv:        s,
+		nc:         nc,
+		br:         bufio.NewReaderSize(nc, readBufSize),
+		out:        make(chan []byte, s.respQueue),
+		writerDone: make(chan struct{}),
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	s.connsTotal.Inc()
+	s.connsGauge.Add(1)
+	return c, true
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.connsGauge.Add(-1)
+	s.connWG.Done()
+}
+
+// Shutdown gracefully drains the server: listeners close (no new
+// connections), every connection finishes its in-flight requests —
+// pending batches execute and their responses are delivered — and the
+// store's dirty lines are flushed. Connections still open when ctx
+// expires are force-closed (their unread requests are dropped; the
+// flush still runs). Returns the context error, the flush error, or
+// nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	cs := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	// Kick readers blocked between frames: they observe the expired
+	// read deadline, execute what they already accumulated, deliver the
+	// responses, and exit.
+	for _, c := range cs {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var derr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		derr = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return errors.Join(derr, s.st.Flush())
+}
+
+// conn is one client connection: a reader goroutine that parses frames
+// and accumulates single ops into store batches, and a writer goroutine
+// draining the bounded response queue.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+
+	out        chan []byte
+	writerDone chan struct{}
+	werr       error // writeLoop-owned; reader never touches it
+
+	// One homogeneous pending batch at a time: mixing kinds would
+	// reorder a connection's read-after-write to the same line, so a
+	// kind switch flushes first.
+	reads    []pcache.ReadOp
+	readIDs  []uint64
+	readT0   []time.Time
+	writes   []pcache.WriteOp
+	writeIDs []uint64
+	writeT0  []time.Time
+}
+
+// serve is the connection's reader loop.
+func (c *conn) serve() {
+	defer func() {
+		close(c.out)
+		<-c.writerDone
+		c.nc.Close()
+		c.srv.removeConn(c)
+	}()
+	go c.writeLoop()
+	for {
+		// The pipe is idle (no buffered frames): flush what has
+		// accumulated before blocking on the next frame, so a paused
+		// pipeline never strands its tail.
+		if (len(c.reads) > 0 || len(c.writes) > 0) && c.br.Buffered() == 0 {
+			c.flushBatches()
+		}
+		f, err := readFrame(c.br)
+		if err != nil {
+			// Drain kick (read deadline) or a dead peer: either way the
+			// already-received ops still execute and respond.
+			c.flushBatches()
+			return
+		}
+		c.srv.requests.Inc()
+		c.srv.bytesIn.Add(uint64(frameHeader + frameFixed + len(f.payload)))
+		c.handle(f)
+		if len(c.reads) >= c.srv.batchSize || len(c.writes) >= c.srv.batchSize {
+			c.flushBatches()
+		}
+	}
+}
+
+// writeLoop drains the response queue into the socket, flushing when
+// the queue empties. After a write error it keeps draining (discarding)
+// so the reader can never deadlock on a full queue, and closes the
+// socket so the reader unblocks.
+func (c *conn) writeLoop() {
+	defer close(c.writerDone)
+	bw := bufio.NewWriterSize(c.nc, readBufSize)
+	for b := range c.out {
+		if c.werr != nil {
+			continue
+		}
+		if _, err := bw.Write(b); err != nil {
+			c.werr = err
+			c.nc.Close()
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				c.werr = err
+				c.nc.Close()
+			}
+		}
+	}
+	if c.werr == nil {
+		bw.Flush()
+	}
+}
+
+// respond enqueues one response frame (blocking when the queue is full
+// — the backpressure point) and records the request's latency.
+func (c *conn) respond(op uint8, id uint64, status uint8, payload []byte, t0 time.Time) {
+	b := appendFrame(nil, op, id, []byte{status}, payload)
+	c.srv.bytesOut.Add(uint64(len(b)))
+	if status == stDeadline || status == stRecoveryInProgress {
+		c.srv.deadlineAborts.Inc()
+	}
+	c.out <- b
+	c.srv.reqSeconds.Observe(time.Since(t0))
+}
+
+// respondErr sends a non-OK response whose payload is the error text.
+func (c *conn) respondErr(op uint8, id uint64, err error, t0 time.Time) {
+	c.respond(op, id, statusOf(err), []byte(err.Error()), t0)
+}
+
+// handle dispatches one request frame. Single READ/WRITE frames without
+// a deadline accumulate into the pending batch; everything else flushes
+// the pending batch first (to keep per-connection ordering) and
+// executes in place.
+func (c *conn) handle(f frame) {
+	t0 := time.Now()
+	p := f.payload
+	switch f.op {
+	case opRead:
+		if len(p) != 8+8+4 {
+			c.respond(f.op, f.id, stBadRequest, []byte("bad READ frame"), t0)
+			return
+		}
+		deadline := be64(p[0:])
+		addr := be64(p[8:])
+		n := int(be32(p[16:]))
+		if n <= 0 || n > maxReadLen {
+			c.respond(f.op, f.id, stBadRequest, []byte(fmt.Sprintf("read length %d", n)), t0)
+			return
+		}
+		if deadline == 0 {
+			if len(c.writes) > 0 {
+				c.flushBatches()
+			}
+			c.reads = append(c.reads, pcache.ReadOp{Addr: addr, Dst: make([]byte, n)})
+			c.readIDs = append(c.readIDs, f.id)
+			c.readT0 = append(c.readT0, t0)
+			return
+		}
+		c.flushBatches()
+		ctx, cancel := deadlineCtx(context.Background(), deadline)
+		out, err := c.srv.st.ReadCtx(ctx, addr, n)
+		cancel()
+		if err != nil {
+			c.respondErr(f.op, f.id, err, t0)
+			return
+		}
+		c.respond(f.op, f.id, stOK, out, t0)
+
+	case opWrite:
+		if len(p) < 8+8 {
+			c.respond(f.op, f.id, stBadRequest, []byte("bad WRITE frame"), t0)
+			return
+		}
+		deadline := be64(p[0:])
+		addr := be64(p[8:])
+		data := p[16:]
+		if deadline == 0 {
+			if len(c.reads) > 0 {
+				c.flushBatches()
+			}
+			// data aliases the frame's private payload buffer — safe to
+			// retain until the batch executes.
+			c.writes = append(c.writes, pcache.WriteOp{Addr: addr, Data: data})
+			c.writeIDs = append(c.writeIDs, f.id)
+			c.writeT0 = append(c.writeT0, t0)
+			return
+		}
+		c.flushBatches()
+		ctx, cancel := deadlineCtx(context.Background(), deadline)
+		err := c.srv.st.WriteCtx(ctx, addr, data)
+		cancel()
+		if err != nil {
+			c.respondErr(f.op, f.id, err, t0)
+			return
+		}
+		c.respond(f.op, f.id, stOK, nil, t0)
+
+	case opBatchRead:
+		c.flushBatches()
+		c.handleBatchRead(f, t0)
+
+	case opBatchWrite:
+		c.flushBatches()
+		c.handleBatchWrite(f, t0)
+
+	case opFlush:
+		if len(p) != 8 {
+			c.respond(f.op, f.id, stBadRequest, []byte("bad FLUSH frame"), t0)
+			return
+		}
+		c.flushBatches()
+		ctx, cancel := deadlineCtx(context.Background(), be64(p))
+		err := c.srv.st.FlushCtx(ctx)
+		cancel()
+		if err != nil {
+			c.respondErr(f.op, f.id, err, t0)
+			return
+		}
+		c.respond(f.op, f.id, stOK, nil, t0)
+
+	case opStats:
+		// Flush first so a pipelined client's own preceding ops are in
+		// the counters it reads back.
+		c.flushBatches()
+		c.respond(f.op, f.id, stOK, encodeStats(c.srv.st.Stats()), t0)
+
+	case opEpoch:
+		if len(p) != 8 {
+			c.respond(f.op, f.id, stBadRequest, []byte("bad EPOCH frame"), t0)
+			return
+		}
+		if c.srv.epochOf == nil {
+			c.respond(f.op, f.id, stUnsupported, []byte("no epoch oracle"), t0)
+			return
+		}
+		// Epoch ordering matters to the oracle: pending writes must
+		// land before the epoch is sampled.
+		c.flushBatches()
+		var buf [8]byte
+		bePut64(buf[:], c.srv.epochOf(be64(p)))
+		c.respond(f.op, f.id, stOK, buf[:], t0)
+
+	default:
+		c.respond(f.op, f.id, stBadRequest, []byte(fmt.Sprintf("unknown opcode %d", f.op)), t0)
+	}
+}
+
+// handleBatchRead serves one BATCH_READ frame through the store's batch
+// path and answers per-op outcomes in a single response frame.
+func (c *conn) handleBatchRead(f frame, t0 time.Time) {
+	p := f.payload
+	if len(p) < 8+4 {
+		c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_READ frame"), t0)
+		return
+	}
+	// The leading deadline field is reserved on batch frames: a batch
+	// rides the amortised (unbounded) batch path, so its deadline is
+	// not mapped to a context the way single-op deadlines are.
+	count := int(be32(p[8:]))
+	if count <= 0 || count > maxBatchOps || len(p) != 12+count*12 {
+		c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_READ geometry"), t0)
+		return
+	}
+	ops := make([]pcache.ReadOp, count)
+	total := 0
+	for i := 0; i < count; i++ {
+		addr := be64(p[12+i*12:])
+		n := int(be32(p[12+i*12+8:]))
+		if n <= 0 || n > maxReadLen || total+n > maxFrame/2 {
+			c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_READ op size"), t0)
+			return
+		}
+		total += n
+		ops[i] = pcache.ReadOp{Addr: addr, Dst: make([]byte, n)}
+	}
+	bt0 := time.Now()
+	c.srv.st.ReadBatch(ops)
+	c.observeBatch(len(ops), bt0)
+	resp := make([]byte, 0, 4+count*5+total)
+	resp = be32Append(resp, uint32(count))
+	for i := range ops {
+		st := statusOf(ops[i].Err)
+		resp = append(resp, st)
+		if st == stOK {
+			resp = be32Append(resp, uint32(len(ops[i].Dst)))
+			resp = append(resp, ops[i].Dst...)
+		} else {
+			resp = be32Append(resp, 0)
+		}
+	}
+	c.respond(f.op, f.id, stOK, resp, t0)
+}
+
+// handleBatchWrite serves one BATCH_WRITE frame through the store's
+// batch path and answers per-op status codes.
+func (c *conn) handleBatchWrite(f frame, t0 time.Time) {
+	p := f.payload
+	if len(p) < 8+4 {
+		c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_WRITE frame"), t0)
+		return
+	}
+	count := int(be32(p[8:]))
+	if count <= 0 || count > maxBatchOps {
+		c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_WRITE geometry"), t0)
+		return
+	}
+	ops := make([]pcache.WriteOp, count)
+	off := 12
+	for i := 0; i < count; i++ {
+		if off+12 > len(p) {
+			c.respond(f.op, f.id, stBadRequest, []byte("truncated BATCH_WRITE"), t0)
+			return
+		}
+		addr := be64(p[off:])
+		n := int(be32(p[off+8:]))
+		off += 12
+		if n < 0 || off+n > len(p) {
+			c.respond(f.op, f.id, stBadRequest, []byte("truncated BATCH_WRITE op"), t0)
+			return
+		}
+		ops[i] = pcache.WriteOp{Addr: addr, Data: p[off : off+n]}
+		off += n
+	}
+	if off != len(p) {
+		c.respond(f.op, f.id, stBadRequest, []byte("trailing BATCH_WRITE bytes"), t0)
+		return
+	}
+	bt0 := time.Now()
+	c.srv.st.WriteBatch(ops)
+	c.observeBatch(len(ops), bt0)
+	resp := make([]byte, 0, 4+count)
+	resp = be32Append(resp, uint32(count))
+	for i := range ops {
+		resp = append(resp, statusOf(ops[i].Err))
+	}
+	c.respond(f.op, f.id, stOK, resp, t0)
+}
+
+// flushBatches executes whichever pending batch has accumulated and
+// responds to every op in it. At most one kind is pending at a time.
+func (c *conn) flushBatches() {
+	if len(c.reads) > 0 {
+		t0 := time.Now()
+		c.srv.st.ReadBatch(c.reads)
+		c.observeBatch(len(c.reads), t0)
+		for i := range c.reads {
+			op := &c.reads[i]
+			if op.Err != nil {
+				c.respondErr(opRead, c.readIDs[i], op.Err, c.readT0[i])
+			} else {
+				c.respond(opRead, c.readIDs[i], stOK, op.Dst, c.readT0[i])
+			}
+		}
+		c.reads, c.readIDs, c.readT0 = c.reads[:0], c.readIDs[:0], c.readT0[:0]
+	}
+	if len(c.writes) > 0 {
+		t0 := time.Now()
+		c.srv.st.WriteBatch(c.writes)
+		c.observeBatch(len(c.writes), t0)
+		for i := range c.writes {
+			op := &c.writes[i]
+			if op.Err != nil {
+				c.respondErr(opWrite, c.writeIDs[i], op.Err, c.writeT0[i])
+			} else {
+				c.respond(opWrite, c.writeIDs[i], stOK, nil, c.writeT0[i])
+			}
+		}
+		c.writes, c.writeIDs, c.writeT0 = c.writes[:0], c.writeIDs[:0], c.writeT0[:0]
+	}
+}
+
+func (c *conn) observeBatch(ops int, t0 time.Time) {
+	c.srv.batches.Inc()
+	c.srv.batchOps.Add(uint64(ops))
+	c.srv.batchSeconds.Observe(time.Since(t0))
+}

@@ -461,23 +461,6 @@ func (c *Cache) SetsPerBank() int { return c.setsPerBank }
 // breakers and single-flight coalescing.
 func (c *Cache) BankOf(set int) int { return set / c.setsPerBank }
 
-// DataArray exposes bank 0's protected data array for single-threaded
-// fault injection (the whole data store when Banks == 1).
-//
-// Deprecated: the name suggests the whole data store, but every bank
-// past the first is silently ignored — on a default 8-bank cache,
-// faults "injected" through DataArray never land in 7/8ths of the
-// sets. Use BankArrays with an explicit bank index (or WithBankLock
-// when traffic is concurrent); BankOf maps a set to its bank.
-func (c *Cache) DataArray() *twod.Array { return c.banks[0].data }
-
-// TagArray exposes bank 0's protected tag array for single-threaded
-// fault injection.
-//
-// Deprecated: bank-0-only, like DataArray — use BankArrays or
-// WithBankLock with an explicit bank index.
-func (c *Cache) TagArray() *twod.Array { return c.banks[0].tags }
-
 // BankArrays returns bank i's data and tag arrays without any locking,
 // for single-threaded inspection and fault injection.
 func (c *Cache) BankArrays(i int) (data, tags *twod.Array) {

@@ -187,34 +187,83 @@ func (s *Sharded) local(addr uint64) uint64 {
 	return (line>>s.shardBits)*s.lineBytes + off
 }
 
+// globalErr rewrites shard-local coordinates inside typed errors into
+// the global namespace, exactly as shardSink does for events: array
+// names gain the "shard<i>/" label and set/bank indices are offset by
+// the shard's base (unknown coordinates, -1, pass through). Without
+// this, an error's text and the event stream would name two different
+// locations for the same fault. The rebuilt errors preserve the full
+// errors.Is/As chain: the same concrete types are returned, wrapping
+// the same sentinels and causes.
+func (s *Sharded) globalErr(shard int, err error) error {
+	if err == nil {
+		return nil
+	}
+	off := func(v, base int) int {
+		if v < 0 {
+			return v
+		}
+		return v + base
+	}
+	var ue *pcache.UncorrectableError
+	if errors.As(err, &ue) {
+		return &pcache.UncorrectableError{
+			Array: fmt.Sprintf("shard%d/%s", shard, ue.Array),
+			Set:   off(ue.Set, shard*s.setsPer),
+			Way:   ue.Way,
+		}
+	}
+	var rip *resilience.RecoveryInProgressError
+	if errors.As(err, &rip) {
+		return &resilience.RecoveryInProgressError{
+			Bank:    off(rip.Bank, shard*s.banksPer),
+			Array:   fmt.Sprintf("shard%d/%s", shard, rip.Array),
+			Set:     off(rip.Set, shard*s.setsPer),
+			Way:     rip.Way,
+			Rung:    rip.Rung,
+			Elapsed: rip.Elapsed,
+			Err:     rip.Err,
+		}
+	}
+	return err
+}
+
 // Read returns n bytes at addr, recovering faults transparently.
 func (s *Sharded) Read(addr uint64, n int) ([]byte, error) {
-	return s.shards[s.ShardOf(addr)].engine.Read(s.local(addr), n)
+	sh := s.ShardOf(addr)
+	out, err := s.shards[sh].engine.Read(s.local(addr), n)
+	return out, s.globalErr(sh, err)
 }
 
 // ReadCtx is Read bounded by a context deadline.
 func (s *Sharded) ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error) {
-	return s.shards[s.ShardOf(addr)].engine.ReadCtx(ctx, s.local(addr), n)
+	sh := s.ShardOf(addr)
+	out, err := s.shards[sh].engine.ReadCtx(ctx, s.local(addr), n)
+	return out, s.globalErr(sh, err)
 }
 
 // ReadInto reads len(dst) bytes at addr into dst without allocating.
 func (s *Sharded) ReadInto(addr uint64, dst []byte) error {
-	return s.shards[s.ShardOf(addr)].engine.ReadInto(s.local(addr), dst)
+	sh := s.ShardOf(addr)
+	return s.globalErr(sh, s.shards[sh].engine.ReadInto(s.local(addr), dst))
 }
 
 // ReadIntoCtx is ReadInto bounded by a context deadline.
 func (s *Sharded) ReadIntoCtx(ctx context.Context, addr uint64, dst []byte) error {
-	return s.shards[s.ShardOf(addr)].engine.ReadIntoCtx(ctx, s.local(addr), dst)
+	sh := s.ShardOf(addr)
+	return s.globalErr(sh, s.shards[sh].engine.ReadIntoCtx(ctx, s.local(addr), dst))
 }
 
 // Write stores data at addr, recovering faults transparently.
 func (s *Sharded) Write(addr uint64, data []byte) error {
-	return s.shards[s.ShardOf(addr)].engine.Write(s.local(addr), data)
+	sh := s.ShardOf(addr)
+	return s.globalErr(sh, s.shards[sh].engine.Write(s.local(addr), data))
 }
 
 // WriteCtx is Write bounded by a context deadline.
 func (s *Sharded) WriteCtx(ctx context.Context, addr uint64, data []byte) error {
-	return s.shards[s.ShardOf(addr)].engine.WriteCtx(ctx, s.local(addr), data)
+	sh := s.ShardOf(addr)
+	return s.globalErr(sh, s.shards[sh].engine.WriteCtx(ctx, s.local(addr), data))
 }
 
 // ReadBatch groups ops by owning shard and hands each shard its group
@@ -223,19 +272,24 @@ func (s *Sharded) WriteCtx(ctx context.Context, addr uint64, data []byte) error 
 // value counts ops that failed even after recovery.
 func (s *Sharded) ReadBatch(ops []pcache.ReadOp) (failed int) {
 	if len(s.shards) == 1 {
-		return s.shards[0].engine.ReadBatch(ops)
+		failed = s.shards[0].engine.ReadBatch(ops)
+		for i := range ops {
+			ops[i].Err = s.globalErr(0, ops[i].Err)
+		}
+		return failed
 	}
 	for _, idxs := range s.groupByShard(len(ops), func(i int) uint64 { return ops[i].Addr }) {
 		if len(idxs) == 0 {
 			continue
 		}
+		sh := s.ShardOf(ops[idxs[0]].Addr)
 		local := make([]pcache.ReadOp, len(idxs))
 		for j, i := range idxs {
 			local[j] = pcache.ReadOp{Addr: s.local(ops[i].Addr), Dst: ops[i].Dst}
 		}
-		failed += s.shards[s.ShardOf(ops[idxs[0]].Addr)].engine.ReadBatch(local)
+		failed += s.shards[sh].engine.ReadBatch(local)
 		for j, i := range idxs {
-			ops[i].Err = local[j].Err
+			ops[i].Err = s.globalErr(sh, local[j].Err)
 		}
 	}
 	return failed
@@ -246,19 +300,24 @@ func (s *Sharded) ReadBatch(ops []pcache.ReadOp) (failed int) {
 // so same-address writes land last-wins exactly as issued.
 func (s *Sharded) WriteBatch(ops []pcache.WriteOp) (failed int) {
 	if len(s.shards) == 1 {
-		return s.shards[0].engine.WriteBatch(ops)
+		failed = s.shards[0].engine.WriteBatch(ops)
+		for i := range ops {
+			ops[i].Err = s.globalErr(0, ops[i].Err)
+		}
+		return failed
 	}
 	for _, idxs := range s.groupByShard(len(ops), func(i int) uint64 { return ops[i].Addr }) {
 		if len(idxs) == 0 {
 			continue
 		}
+		sh := s.ShardOf(ops[idxs[0]].Addr)
 		local := make([]pcache.WriteOp, len(idxs))
 		for j, i := range idxs {
 			local[j] = pcache.WriteOp{Addr: s.local(ops[i].Addr), Data: ops[i].Data}
 		}
-		failed += s.shards[s.ShardOf(ops[idxs[0]].Addr)].engine.WriteBatch(local)
+		failed += s.shards[sh].engine.WriteBatch(local)
 		for j, i := range idxs {
-			ops[i].Err = local[j].Err
+			ops[i].Err = s.globalErr(sh, local[j].Err)
 		}
 	}
 	return failed
@@ -281,7 +340,7 @@ func (s *Sharded) Flush() error {
 	var errs []error
 	for i, sh := range s.shards {
 		if err := sh.engine.Flush(); err != nil {
-			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, s.globalErr(i, err)))
 		}
 	}
 	return errors.Join(errs...)
@@ -292,7 +351,7 @@ func (s *Sharded) FlushCtx(ctx context.Context) error {
 	var errs []error
 	for i, sh := range s.shards {
 		if err := sh.engine.FlushCtx(ctx); err != nil {
-			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, s.globalErr(i, err)))
 		}
 	}
 	return errors.Join(errs...)

@@ -95,4 +95,29 @@ esac
 st=$?
 [ "$st" -eq 2 ] || fail "sharded -record exited $st (want 2)"
 
+# 11. -http is part of the run's lifecycle: a healthy run serving
+#     metrics still drains to exit 0 on SIGINT (the owned http server
+#     shuts down with the run instead of leaking an accept loop).
+"$bin" -duration 60s -http 127.0.0.1:0 -stats-interval 0 >/dev/null 2>&1 &
+pid=$!
+sleep 2
+kill -INT "$pid"
+wait "$pid"
+st=$?
+[ "$st" -eq 0 ] || fail "interrupted -http run exited $st (want 0)"
+
+# 12. A bad -http address (port already held) must fail the run at
+#     startup with exit 2 — not soak for the full duration silently
+#     serving no metrics.
+"$bin" -duration 60s -http 127.0.0.1:0 -stats-interval 0 >"$tmp/http.out" 2>&1 &
+pid=$!
+sleep 1
+addr=$(sed -n 's/^soak: serving .* on \(.*\)$/\1/p' "$tmp/http.out")
+[ -n "$addr" ] || { kill -INT "$pid"; wait "$pid"; fail "-http run never printed its bound address"; }
+"$bin" -duration 60s -http "$addr" -stats-interval 0 >/dev/null 2>&1
+st=$?
+kill -INT "$pid"
+wait "$pid"
+[ "$st" -eq 2 ] || fail "port-in-use -http run exited $st (want 2)"
+
 echo "test_soak_exit: OK"
