@@ -9,8 +9,18 @@
 //
 // Workers own disjoint line ranges, so the shadow needs no cross-worker
 // coordination and every mismatch is attributable. On completion (or
-// SIGINT/SIGTERM) the run reports throughput and the corruption
-// taxonomy, mirroring cmd/soak's accounting over the wire.
+// SIGINT/SIGTERM) the run reports throughput, read-latency percentiles,
+// and the corruption taxonomy, mirroring cmd/soak's accounting over the
+// wire.
+//
+// With -endpoints a,b,c the generator drives a replicated ClusterClient
+// instead of one connection: hedged reads, failover retries, write
+// fan-out with read-repair. The shadow protocol is unchanged — the
+// cluster epoch is the max over reachable replicas — so killing and
+// restarting a replica mid-run must produce zero silent corruption, or
+// the run exits 1. -selftest-skew-writes N arms the cluster's injected
+// replication bug (every Nth write silently skips one replica) to prove
+// the verifier would catch real divergence.
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -29,6 +40,14 @@ import (
 
 	"twodcache"
 )
+
+// storeClient is the single-op surface shared by a NetClient and a
+// ClusterClient — the generator's worker loop drives either.
+type storeClient interface {
+	ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error)
+	WriteCtx(ctx context.Context, addr uint64, data []byte) error
+	Epoch(addr uint64) (uint64, error)
+}
 
 func main() {
 	var (
@@ -43,6 +62,9 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "per-op deadline (0 = none; single-op mode only)")
 		verify    = flag.Bool("verify", true, "shadow-check reads via the loss-epoch protocol (needs the server's EPOCH oracle)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		endpoints = flag.String("endpoints", "", "comma-separated replica addresses: drive a replicated cluster client instead of -addr")
+		hedge     = flag.Bool("hedge", true, "hedged reads (cluster mode only)")
+		skewEvery = flag.Int("selftest-skew-writes", 0, "arm the cluster's injected replication bug: every Nth write silently skips one replica (must surface as silent corruption)")
 	)
 	flag.Parse()
 	workers := *conns * *pipeline
@@ -51,20 +73,59 @@ func main() {
 		os.Exit(2)
 	}
 
-	clients := make([]*twodcache.NetClient, *conns)
-	for i := range clients {
-		c, err := twodcache.DialNet(*addr)
+	// clientFor hands worker w its client; batchClient is non-nil only in
+	// single-endpoint mode, where batch frames are available.
+	var (
+		clientFor   func(w int) storeClient
+		batchClient func(w int) *twodcache.NetClient
+		cluster     *twodcache.ClusterClient
+		clusterReg  = twodcache.NewMetricsRegistry()
+	)
+	if *endpoints != "" {
+		if *batch > 0 {
+			fmt.Fprintln(os.Stderr, "cacheload: -batch is single-endpoint only (the cluster client has no batch path); drop -batch or -endpoints")
+			os.Exit(2)
+		}
+		eps := strings.Split(*endpoints, ",")
+		cc, err := twodcache.DialCluster(twodcache.ClusterConfig{
+			Endpoints: eps,
+			Seed:      *seed,
+			// Full-line puts of self-contained values: re-applying one is
+			// harmless, so the cluster may retry through ambiguity.
+			IdempotentWrites:  true,
+			DisableHedging:    !*hedge,
+			Metrics:           clusterReg,
+			SelftestSkewEvery: *skewEvery,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cacheload:", err)
 			os.Exit(2)
 		}
-		defer c.Close()
-		clients[i] = c
+		defer cc.Close()
+		cluster = cc
+		clientFor = func(int) storeClient { return cc }
+	} else {
+		if *skewEvery > 0 {
+			fmt.Fprintln(os.Stderr, "cacheload: -selftest-skew-writes needs -endpoints (it is a replication bug)")
+			os.Exit(2)
+		}
+		clients := make([]*twodcache.NetClient, *conns)
+		for i := range clients {
+			c, err := twodcache.DialNet(*addr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cacheload:", err)
+				os.Exit(2)
+			}
+			defer c.Close()
+			clients[i] = c
+		}
+		clientFor = func(w int) storeClient { return clients[w / *pipeline] }
+		batchClient = func(w int) *twodcache.NetClient { return clients[w / *pipeline] }
 	}
 
 	// The loss-epoch oracle must be present when verifying.
 	if *verify {
-		if _, err := clients[0].Epoch(0); err != nil {
+		if _, err := clientFor(0).Epoch(0); err != nil {
 			if errors.Is(err, twodcache.ErrNetUnsupported) {
 				fmt.Fprintln(os.Stderr, "cacheload: server has no EPOCH oracle; rerun with -verify=false or fix the server")
 				os.Exit(2)
@@ -100,13 +161,28 @@ func main() {
 		epoch uint64
 	}
 
+	// readLat is the caller-observed single-op read latency (queueing,
+	// hedging, retries, and failover included) — the number the hedged
+	// vs unhedged comparison in scripts/bench.sh is about.
+	readLat := clusterReg.Histogram("load_read_latency", "caller-observed read latency")
+
+	// fatalClientErr reports errors that mean the generator's transport
+	// is gone for good. In cluster mode per-replica transport loss is
+	// routine (failover handles it); only a closed cluster ends the run.
+	fatalClientErr := func(err error) bool {
+		if cluster != nil {
+			return errors.Is(err, twodcache.ErrClusterClosed)
+		}
+		return errors.Is(err, twodcache.ErrNetClosed)
+	}
+
 	linesPer := *lines / workers
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cl := clients[w / *pipeline]
+			cl := clientFor(w)
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			base := uint64(w*linesPer) * uint64(*lineBytes)
 			addrOf := func(i int) uint64 { return base + uint64(i)*uint64(*lineBytes) }
@@ -155,7 +231,9 @@ func main() {
 			for ctx.Err() == nil {
 				if *batch > 0 {
 					// Batch mode: one frame, k ops, one amortised store
-					// call on the server.
+					// call on the server (single-endpoint mode only; the
+					// flag parser rejected -batch with -endpoints).
+					bc := batchClient(w)
 					k := *batch
 					if rng.Float64() < *writeFrac {
 						wops := make([]twodcache.BatchWriteOp, k)
@@ -169,7 +247,7 @@ func main() {
 							fill(d)
 							wops[j] = twodcache.BatchWriteOp{Addr: addrOf(lis[j]), Data: d}
 						}
-						if _, err := cl.WriteBatch(wops); err != nil {
+						if _, err := bc.WriteBatch(wops); err != nil {
 							return // transport down (drain or test end)
 						}
 						for j := 0; j < k; j++ {
@@ -192,7 +270,7 @@ func main() {
 							lis[j] = rng.Intn(linesPer)
 							rops[j] = twodcache.BatchReadOp{Addr: addrOf(lis[j]), Dst: make([]byte, *lineBytes)}
 						}
-						if _, err := cl.ReadBatch(rops); err != nil {
+						if _, err := bc.ReadBatch(rops); err != nil {
 							return
 						}
 						for j := 0; j < k; j++ {
@@ -218,7 +296,7 @@ func main() {
 					fill(d)
 					err := cl.WriteCtx(opCtx, addrOf(li), d)
 					opCancel()
-					if errors.Is(err, twodcache.ErrNetClosed) {
+					if fatalClientErr(err) {
 						return
 					}
 					writes.Add(1)
@@ -233,9 +311,11 @@ func main() {
 						shadow[li] = shadowLine{data: d, epoch: epoch}
 					}
 				} else {
+					t0 := time.Now()
 					got, err := cl.ReadCtx(opCtx, addrOf(li), *lineBytes)
+					readLat.Observe(time.Since(t0))
 					opCancel()
-					if errors.Is(err, twodcache.ErrNetClosed) {
+					if fatalClientErr(err) {
 						return
 					}
 					reads.Add(1)
@@ -257,6 +337,23 @@ func main() {
 		reads.Load(), writes.Load())
 	fmt.Printf("  accounting: %d reported DUE/aborts, %d accounted losses, %d SILENT corruptions\n",
 		reported.Load(), accounted.Load(), silent.Load())
+	snap := clusterReg.Snapshot()
+	if h := snap.Histogram("load_read_latency"); h.Count > 0 {
+		fmt.Printf("  read latency: p50 %v  p90 %v  p99 %v (%d samples)\n",
+			h.Quantile(0.50).Round(time.Microsecond),
+			h.Quantile(0.90).Round(time.Microsecond),
+			h.Quantile(0.99).Round(time.Microsecond), h.Count)
+	}
+	if cluster != nil {
+		fmt.Printf("  cluster: %d hedges (%d won, %d wasted), %d retries, %d read-repairs, %d redials, %d no-replica errors\n",
+			snap.Counter("cluster_hedges_total"), snap.Counter("cluster_hedge_wins_total"),
+			snap.Counter("cluster_hedge_wasted_total"), snap.Counter("cluster_retries_total"),
+			snap.Counter("cluster_read_repairs_total"), snap.Counter("cluster_redials_total"),
+			snap.Counter("cluster_no_replica_errors_total"))
+		for _, s := range cluster.Endpoints() {
+			fmt.Printf("  endpoint %s\n", s)
+		}
+	}
 	if silent.Load() > 0 {
 		fmt.Println("cacheload: FAIL — silent corruption detected")
 		os.Exit(1)

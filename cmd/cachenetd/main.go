@@ -47,6 +47,15 @@ func main() {
 		httpAddr      = flag.String("http", "", "serve expvar (/debug/vars) and Prometheus text (/metrics) on this address")
 		duration      = flag.Duration("duration", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget; connections still open after it are force-closed")
+
+		// Network chaos: any non-zero probability fronts the listener
+		// with a seed-deterministic ChaosProxy — the real server moves to
+		// an ephemeral port and clients dial the chaos at -addr.
+		chaosReset = flag.Float64("chaos-reset-prob", 0, "per-chunk probability of an abrupt connection reset")
+		chaosTear  = flag.Float64("chaos-tear-prob", 0, "per-chunk probability of a torn frame (prefix then hangup)")
+		chaosDrop  = flag.Float64("chaos-drop-prob", 0, "per-chunk probability of a black-hole stall then close")
+		chaosDelay = flag.Float64("chaos-delay-prob", 0, "per-chunk probability of injected delay")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "chaos decision seed (0 = -seed)")
 	)
 	flag.Parse()
 
@@ -88,10 +97,37 @@ func main() {
 		os.Exit(2)
 	}
 
-	l, err := net.Listen("tcp", *addr)
+	// With chaos enabled the advertised address belongs to the proxy and
+	// the real server hides on an ephemeral loopback port behind it.
+	chaosOn := *chaosReset+*chaosTear+*chaosDrop+*chaosDelay > 0
+	listenAddr := *addr
+	if chaosOn {
+		listenAddr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachenetd:", err)
 		os.Exit(2)
+	}
+	var proxy *twodcache.ChaosProxy
+	if chaosOn {
+		seedVal := *chaosSeed
+		if seedVal == 0 {
+			seedVal = *seed
+		}
+		proxy, err = twodcache.NewChaosProxy(twodcache.ChaosProxyConfig{
+			Seed:      seedVal,
+			Target:    l.Addr().String(),
+			Addr:      *addr,
+			ResetProb: *chaosReset, TearProb: *chaosTear,
+			DropProb: *chaosDrop, DelayProb: *chaosDelay,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachenetd: chaos:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("cachenetd: chaos proxy on %s -> %s (seed %d, reset %.3g tear %.3g drop %.3g delay %.3g)\n",
+			proxy.Addr(), l.Addr(), seedVal, *chaosReset, *chaosTear, *chaosDrop, *chaosDelay)
 	}
 	fmt.Printf("cachenetd: listening on %s (%d shard(s), %d sets x %d ways x %dB lines)\n",
 		l.Addr(), *shards, *sets, *ways, *lineBytes)
@@ -190,6 +226,12 @@ func main() {
 	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer dcancel()
 	drainErr := srv.Shutdown(dctx)
+	if proxy != nil {
+		a, r, te, dr, de := proxy.Stats()
+		proxy.Close()
+		fmt.Printf("cachenetd: chaos stats — %d conns, %d resets, %d tears, %d drops, %d delays\n",
+			a, r, te, dr, de)
+	}
 	if err := <-serveErr; err != nil {
 		fmt.Fprintln(os.Stderr, "cachenetd: serve:", err)
 		os.Exit(1)

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"twodcache/internal/bist"
+	"twodcache/internal/cluster"
 	"twodcache/internal/fault"
 	"twodcache/internal/netsrv"
 	"twodcache/internal/obs"
@@ -302,6 +303,60 @@ func NewNetServer(cfg NetServerConfig) (*NetServer, error) { return netsrv.NewSe
 
 // DialNet connects a NetClient to a serving NetServer.
 func DialNet(addr string) (*NetClient, error) { return netsrv.Dial(addr) }
+
+// --- replicated cluster client -------------------------------------------------
+
+// ClusterConfig assembles a ClusterClient: replica endpoints, the
+// per-endpoint health breaker, hedging and retry policy, and the
+// idempotent-writes declaration that gates retrying past ambiguity.
+type ClusterConfig = cluster.Config
+
+// ClusterClient is the replicated client over N NetServer endpoints:
+// hedged reads, bounded failover retries, write fan-out with
+// read-repair, and the freshness invariant that a replica which missed
+// a write never serves a read for it.
+type ClusterClient = cluster.Client
+
+// ClusterConn is the per-endpoint transport a ClusterClient drives —
+// NetClient satisfies it; tests may substitute fakes via
+// ClusterConfig.Dial.
+type ClusterConn = cluster.Conn
+
+// ClusterEndpointStatus is one endpoint's health summary
+// (ClusterClient.Endpoints).
+type ClusterEndpointStatus = cluster.EndpointStatus
+
+// Failures surfaced by a ClusterClient.
+var (
+	// ErrClusterAmbiguousWrite: the write failed on every replica and at
+	// least one failure left the outcome unknown; the client will not
+	// retry unless ClusterConfig.IdempotentWrites is set.
+	ErrClusterAmbiguousWrite = cluster.ErrAmbiguousWrite
+	// ErrClusterNoReplicas: no fresh, healthy replica could serve the
+	// request.
+	ErrClusterNoReplicas = cluster.ErrNoReplicas
+	// ErrClusterClosed: the client has been closed.
+	ErrClusterClosed = cluster.ErrClosed
+)
+
+// DialCluster builds a ClusterClient and dials every endpoint
+// (endpoints that refuse start down and are redialled in the
+// background).
+func DialCluster(cfg ClusterConfig) (*ClusterClient, error) { return cluster.New(cfg) }
+
+// --- network chaos proxy -------------------------------------------------------
+
+// ChaosProxyConfig parameterises a ChaosProxy: per-chunk probabilities
+// for resets, torn frames, black-hole drops, and delays, all drawn from
+// seed-derived streams for reproducible runs.
+type ChaosProxyConfig = fault.ChaosProxyConfig
+
+// ChaosProxy is a seed-deterministic TCP fault injector to put in front
+// of a NetServer — the network analogue of the in-memory fault Storm.
+type ChaosProxy = fault.ChaosProxy
+
+// NewChaosProxy binds the proxy's listener and starts accepting.
+func NewChaosProxy(cfg ChaosProxyConfig) (*ChaosProxy, error) { return fault.NewChaosProxy(cfg) }
 
 // --- observability -----------------------------------------------------------
 

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// Read reads n bytes at addr from the cluster.
+func (c *Client) Read(addr uint64, n int) ([]byte, error) {
+	return c.ReadCtx(context.Background(), addr, n)
+}
+
+// ReadCtx is the hedged, failover, retrying cluster read. One logical
+// read makes up to len(endpoints) replica attempts per round (a hedge
+// after the derived delay, an immediate failover after each failure)
+// and up to MaxRetries backoff rounds when the failure is transient.
+func (c *Client) ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.reads.Inc()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, err := c.readRound(ctx, addr, n)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !isRetryable(err) || attempt >= c.cfg.MaxRetries {
+			return nil, lastErr
+		}
+		pause := c.jitteredBackoff(attempt)
+		// Retry only with headroom: sleeping into the caller's deadline
+		// converts a replica hiccup into a caller timeout.
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < 2*pause {
+			return nil, lastErr
+		}
+		c.retries.Inc()
+		select {
+		case <-time.After(pause):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.done:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// readResult is one replica attempt's outcome.
+type readResult struct {
+	data    []byte
+	err     error
+	ep      *endpoint
+	conn    Conn
+	probe   bool
+	latency time.Duration
+	hedge   bool // launched by the hedge timer, not as primary/failover
+}
+
+// readRound runs one round of hedged/failover attempts across the
+// currently fresh endpoints. It returns the first success, or the last
+// error once every candidate has failed.
+func (c *Client) readRound(ctx context.Context, addr uint64, n int) ([]byte, error) {
+	type candidate struct {
+		ep    *endpoint
+		conn  Conn
+		probe bool
+	}
+	var cands []candidate
+	start := c.rr.Add(1)
+	for i := 0; i < len(c.eps); i++ {
+		ep := c.eps[(int(start)+i)%len(c.eps)]
+		conn, fresh := ep.freshFor(addr)
+		if !fresh {
+			continue
+		}
+		ok, probe := ep.admit()
+		if !ok {
+			continue
+		}
+		cands = append(cands, candidate{ep, conn, probe})
+	}
+	if len(cands) == 0 {
+		c.noReplicaErrors.Inc()
+		return nil, ErrNoReplicas
+	}
+
+	// Losers must be released even after we return: attempts run under
+	// actx so a winner cancels the stragglers, and every attempt settles
+	// its own breaker bookkeeping in its goroutine.
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan readResult, len(cands))
+	launch := func(i int, hedge bool) {
+		cd := cands[i]
+		go func() {
+			t0 := time.Now()
+			data, err := cd.conn.ReadCtx(actx, addr, n)
+			r := readResult{
+				data: data, err: err, ep: cd.ep, conn: cd.conn,
+				probe: cd.probe, latency: time.Since(t0), hedge: hedge,
+			}
+			switch {
+			case err == nil:
+				cd.ep.brk.Record(cd.probe, true)
+			case ctxError(actx, err):
+				// Our cancellation or the caller's deadline: no health
+				// signal either way.
+				cd.ep.brk.Release(cd.probe)
+			default:
+				cd.ep.brk.Record(cd.probe, false)
+				if isTransportDead(err) {
+					cd.ep.markDown(cd.conn)
+				}
+			}
+			results <- r
+		}()
+	}
+
+	launch(0, false)
+	next := 1
+	inflight := 1
+	hedged := false
+	var hedgeTimer <-chan time.Time
+	if !c.cfg.DisableHedging && len(cands) > 1 {
+		t := time.NewTimer(c.hedgeDelay())
+		defer t.Stop()
+		hedgeTimer = t.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if next < len(cands) {
+				c.hedges.Inc()
+				hedged = true
+				launch(next, true)
+				next++
+				inflight++
+			}
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				c.readLat.Observe(r.latency)
+				if hedged {
+					if r.hedge {
+						c.hedgeWins.Inc()
+					} else {
+						c.hedgeWasted.Inc()
+					}
+				}
+				return r.data, nil
+			}
+			lastErr = r.err
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			// Immediate failover: a failed attempt frees its slot for the
+			// next fresh candidate without waiting for the hedge timer.
+			if next < len(cands) {
+				launch(next, false)
+				next++
+				inflight++
+			} else if inflight == 0 {
+				return nil, lastErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.done:
+			return nil, ErrClosed
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"twodcache/internal/netsrv"
+	"twodcache/internal/resilience"
+)
+
+// Write stores data at addr on the cluster.
+func (c *Client) Write(addr uint64, data []byte) error {
+	return c.WriteCtx(context.Background(), addr, data)
+}
+
+// wOutcome classifies one replica's write attempt.
+type wOutcome int
+
+const (
+	wApplied wOutcome = iota
+	// wNotApplied: the replica definitely did not apply the write (never
+	// sent, or the server refused before applying).
+	wNotApplied
+	// wAmbiguous: the request may have been applied — the transport died
+	// after send, or a deadline raced the apply.
+	wAmbiguous
+)
+
+// WriteCtx fans the write out to every replica under addr's stripe
+// lock (so concurrent writes to one addr land in the same order
+// everywhere). The write succeeds if at least one replica applied it;
+// every replica that did not gets addr in its missed set and is
+// excluded from reads until read-repair copies the value across.
+//
+// If no replica applied it, the outcome depends on ambiguity: when
+// every failure is a definite not-applied, the cluster retries with
+// backoff; when any failure is ambiguous and writes are not declared
+// idempotent, it returns ErrAmbiguousWrite immediately — a blind retry
+// could apply the write twice.
+func (c *Client) WriteCtx(ctx context.Context, addr uint64, data []byte) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	c.writes.Inc()
+	st := c.stripe(addr)
+	st.Lock()
+	defer st.Unlock()
+	c.noteWritten(addr, len(data))
+
+	// The selftest skew hook: every Nth write silently skips one
+	// replica, creating exactly the divergence the freshness machinery
+	// exists to prevent. Shadow verification must catch it.
+	skip := -1
+	if c.cfg.SelftestSkewEvery > 0 {
+		if seq := c.writeSeq.Add(1); seq%uint64(c.cfg.SelftestSkewEvery) == 0 {
+			skip = int(seq/uint64(c.cfg.SelftestSkewEvery)) % len(c.eps)
+			c.selftestSkipped.Inc()
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		applied, ambiguous, err := c.writeRound(ctx, addr, data, skip)
+		if applied > 0 {
+			return nil
+		}
+		lastErr = err
+		if lastErr == nil {
+			// No replica was even usable this round — retryable: a
+			// redial or breaker probe may restore one.
+			c.noReplicaErrors.Inc()
+			lastErr = ErrNoReplicas
+		}
+		if ambiguous && !c.cfg.IdempotentWrites {
+			c.ambiguousWrites.Inc()
+			return errors.Join(ErrAmbiguousWrite, lastErr)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !isRetryable(lastErr) || attempt >= c.cfg.MaxRetries {
+			return lastErr
+		}
+		pause := c.jitteredBackoff(attempt)
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < 2*pause {
+			return lastErr
+		}
+		c.retries.Inc()
+		select {
+		case <-time.After(pause):
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.done:
+			return ErrClosed
+		}
+	}
+}
+
+// writeRound fans one write attempt out to every replica concurrently
+// and aggregates the outcomes. Replicas that did not definitely apply
+// the write are marked missed.
+func (c *Client) writeRound(ctx context.Context, addr uint64, data []byte, skip int) (applied int, anyAmbiguous bool, lastErr error) {
+	type wres struct {
+		ep      *endpoint
+		outcome wOutcome
+		err     error
+	}
+	results := make(chan wres, len(c.eps))
+	launched := 0
+	for i, ep := range c.eps {
+		if i == skip {
+			// Deliberately silent: no missed record, no metrics beyond
+			// the skip counter — this is the injected bug.
+			continue
+		}
+		conn, probe, usable := c.admitWrite(ep)
+		if !usable {
+			ep.markMissed(addr, len(data))
+			continue
+		}
+		launched++
+		go func(ep *endpoint, conn Conn, probe bool) {
+			err := conn.WriteCtx(ctx, addr, data)
+			out := classifyWrite(ctx, err)
+			switch {
+			case err == nil:
+				ep.brk.Record(probe, true)
+			case ctxError(ctx, err) && out == wAmbiguous:
+				// The caller gave up; says nothing about the replica.
+				ep.brk.Release(probe)
+			default:
+				ep.brk.Record(probe, false)
+			}
+			if isTransportDead(err) {
+				ep.markDown(conn)
+			}
+			results <- wres{ep, out, err}
+		}(ep, conn, probe)
+	}
+	for i := 0; i < launched; i++ {
+		r := <-results
+		switch r.outcome {
+		case wApplied:
+			applied++
+			r.ep.clearMissed(addr)
+		case wAmbiguous:
+			anyAmbiguous = true
+			r.ep.markMissed(addr, len(data))
+			lastErr = r.err
+		default:
+			r.ep.markMissed(addr, len(data))
+			lastErr = r.err
+		}
+	}
+	return applied, anyAmbiguous, lastErr
+}
+
+// admitWrite gates one replica's participation in a write fan-out on
+// transport liveness and its breaker.
+func (c *Client) admitWrite(ep *endpoint) (conn Conn, probe, usable bool) {
+	conn = ep.liveConn()
+	if conn == nil {
+		return nil, false, false
+	}
+	ok, probe := ep.admit()
+	if !ok {
+		return nil, false, false
+	}
+	return conn, probe, true
+}
+
+// classifyWrite sorts a per-replica write error into applied /
+// not-applied / ambiguous.
+//
+// Definite not-applied: the server answered with a refusal it issues
+// before touching the store (draining, bad request, recovery-abandoned)
+// — an answered request is a request whose fate the server reported.
+// Ambiguous: the transport died after the frame may have been sent, or
+// a deadline fired server-side racing the apply, or our own context
+// gave up while the request was in flight.
+func classifyWrite(ctx context.Context, err error) wOutcome {
+	switch {
+	case err == nil:
+		return wApplied
+	case errors.Is(err, netsrv.ErrDraining),
+		errors.Is(err, netsrv.ErrBadRequest),
+		errors.Is(err, netsrv.ErrUnsupported),
+		errors.Is(err, resilience.ErrRecoveryInProgress):
+		return wNotApplied
+	}
+	return wAmbiguous
+}

@@ -1,0 +1,287 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosProxyConfig parameterises a ChaosProxy — the network analogue of
+// a Storm: a TCP proxy in front of a real server that injects the
+// failure modes a flaky NIC, an overloaded switch, or a dying peer
+// produce, with every decision drawn from seed-derived rngs so a run is
+// reproducible the way a storm run is.
+//
+// All probabilities are per forwarded chunk (ChunkBytes of stream data
+// in one direction), evaluated in a fixed order: reset, tear, drop,
+// delay. Zero probabilities make the proxy a transparent forwarder.
+type ChaosProxyConfig struct {
+	// Seed makes the chaos reproducible: connection i's two directions
+	// draw from rngs derived via DeriveSeed(Seed, 2i) and
+	// DeriveSeed(Seed, 2i+1), so the decision sequence per stream is
+	// fixed even though goroutine interleaving is not.
+	Seed int64
+	// Target is the real server's dial address.
+	Target string
+	// Addr is the proxy's listen address; empty selects 127.0.0.1:0.
+	Addr string
+	// ResetProb abruptly closes both sides mid-stream — the RST a dying
+	// process sends.
+	ResetProb float64
+	// TearProb forwards a strict prefix of the chunk and then closes
+	// both sides: a torn frame, the partial write of a crashing peer.
+	TearProb float64
+	// DropProb black-holes the connection: forwarding stops in both
+	// directions but the sockets stay open for DropStall (default 2s),
+	// then both sides close — the half-dead peer that neither answers
+	// nor resets.
+	DropProb float64
+	// DelayProb stalls the chunk for a uniform duration in
+	// [DelayMin, DelayMax] before forwarding it — queueing jitter.
+	DelayProb float64
+	// DelayMin and DelayMax bound injected delays; defaults 1ms and 5ms.
+	DelayMin, DelayMax time.Duration
+	// DropStall is how long a dropped connection lingers before closing.
+	// Zero selects 2s.
+	DropStall time.Duration
+	// ChunkBytes is the forwarding granularity (and the unit the
+	// probabilities apply to). Zero selects 4096.
+	ChunkBytes int
+}
+
+func (c ChaosProxyConfig) withDefaults() ChaosProxyConfig {
+	if c.DelayMin <= 0 {
+		c.DelayMin = time.Millisecond
+	}
+	if c.DelayMax < c.DelayMin {
+		c.DelayMax = 5 * time.Millisecond
+		if c.DelayMax < c.DelayMin {
+			c.DelayMax = c.DelayMin
+		}
+	}
+	if c.DropStall <= 0 {
+		c.DropStall = 2 * time.Second
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 4096
+	}
+	return c
+}
+
+// ChaosProxy is a running chaos TCP proxy. Safe for concurrent use;
+// Close stops the accept loop and tears down every proxied connection.
+type ChaosProxy struct {
+	cfg ChaosProxyConfig
+	l   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{} // both legs of every live pair
+	nextID uint64
+	done   chan struct{} // closed by Close; interrupts drop stalls
+	wg     sync.WaitGroup
+
+	accepted atomic.Uint64
+	resets   atomic.Uint64
+	tears    atomic.Uint64
+	drops    atomic.Uint64
+	delays   atomic.Uint64
+}
+
+// NewChaosProxy binds the proxy's listener and starts accepting. The
+// chosen address is available from Addr.
+func NewChaosProxy(cfg ChaosProxyConfig) (*ChaosProxy, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("fault: ChaosProxyConfig.Target is required")
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &ChaosProxy{cfg: cfg.withDefaults(), l: l, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — the address clients dial.
+func (p *ChaosProxy) Addr() net.Addr { return p.l.Addr() }
+
+// Stats reports how many connections were accepted and how many chaos
+// events of each kind fired, for assertions and run reports.
+func (p *ChaosProxy) Stats() (accepted, resets, tears, drops, delays uint64) {
+	return p.accepted.Load(), p.resets.Load(), p.tears.Load(), p.drops.Load(), p.delays.Load()
+}
+
+// Close stops accepting, closes every proxied connection, and waits for
+// the forwarding goroutines to exit.
+func (p *ChaosProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	cs := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		cs = append(cs, c)
+	}
+	p.mu.Unlock()
+	err := p.l.Close()
+	for _, c := range cs {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *ChaosProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			cc.Close()
+			return
+		}
+		id := p.nextID
+		p.nextID++
+		p.mu.Unlock()
+		p.accepted.Add(1)
+		p.wg.Add(1)
+		go p.serveConn(cc, id)
+	}
+}
+
+// track registers c for Close teardown; returns false when the proxy is
+// already closed.
+func (p *ChaosProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *ChaosProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// pair is one proxied connection: both legs plus the shared teardown
+// that any chaos event (or either side hanging up) triggers.
+type pair struct {
+	client, server net.Conn
+	once           sync.Once
+}
+
+func (pr *pair) kill() {
+	pr.once.Do(func() {
+		pr.client.Close()
+		pr.server.Close()
+	})
+}
+
+func (p *ChaosProxy) serveConn(cc net.Conn, id uint64) {
+	defer p.wg.Done()
+	sc, err := net.DialTimeout("tcp", p.cfg.Target, 5*time.Second)
+	if err != nil {
+		cc.Close()
+		return
+	}
+	if !p.track(cc) || !p.track(sc) {
+		cc.Close()
+		sc.Close()
+		p.untrack(cc)
+		return
+	}
+	defer p.untrack(cc)
+	defer p.untrack(sc)
+	pr := &pair{client: cc, server: sc}
+	defer pr.kill()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.forward(pr, cc, sc, rand.New(rand.NewSource(DeriveSeed(p.cfg.Seed, 2*id))))
+	}()
+	p.forward(pr, sc, cc, rand.New(rand.NewSource(DeriveSeed(p.cfg.Seed, 2*id+1))))
+	wg.Wait()
+}
+
+// forward copies src → dst in ChunkBytes units, rolling the chaos dice
+// once per chunk. Any injected failure kills the whole pair so the two
+// directions die together, the way a real connection does.
+func (p *ChaosProxy) forward(pr *pair, src, dst net.Conn, rng *rand.Rand) {
+	buf := make([]byte, p.cfg.ChunkBytes)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			roll := rng.Float64()
+			switch cfg := p.cfg; {
+			case roll < cfg.ResetProb:
+				p.resets.Add(1)
+				pr.kill()
+				return
+			case roll < cfg.ResetProb+cfg.TearProb:
+				// A strict prefix (possibly empty) then hangup: the
+				// receiver sees a frame that stops mid-payload.
+				p.tears.Add(1)
+				_, _ = dst.Write(buf[:rng.Intn(n)])
+				pr.kill()
+				return
+			case roll < cfg.ResetProb+cfg.TearProb+cfg.DropProb:
+				// Black hole: both sockets stay up, nothing moves, then
+				// the pair dies. The stall is interruptible by Close.
+				p.drops.Add(1)
+				t := time.NewTimer(p.cfg.DropStall)
+				select {
+				case <-t.C:
+				case <-p.done:
+					t.Stop()
+				}
+				pr.kill()
+				return
+			case roll < cfg.ResetProb+cfg.TearProb+cfg.DropProb+cfg.DelayProb:
+				p.delays.Add(1)
+				d := cfg.DelayMin
+				if span := cfg.DelayMax - cfg.DelayMin; span > 0 {
+					d += time.Duration(rng.Int63n(int64(span) + 1))
+				}
+				time.Sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				pr.kill()
+				return
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				// Half-close cleanly so the peer can finish in-flight
+				// responses on the other leg.
+				if t, ok := dst.(*net.TCPConn); ok {
+					t.CloseWrite()
+					return
+				}
+			}
+			pr.kill()
+			return
+		}
+	}
+}

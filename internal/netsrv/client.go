@@ -164,17 +164,25 @@ func (c *Client) call(ctx context.Context, op uint8, payload []byte) (wireResp, 
 }
 
 // wireDeadline converts ctx's deadline to the protocol's relative
-// nanoseconds (0 = none).
-func wireDeadline(ctx context.Context) uint64 {
+// nanoseconds (0 = none). An already-expired deadline fails fast here
+// with the context's error — burning a round trip just so the server
+// can answer stDeadline would charge a doomed request a full RTT.
+// (ctx.Err() can still be nil in the instant after the deadline passes,
+// before the context's timer fires; DeadlineExceeded is the answer
+// either way.)
+func wireDeadline(ctx context.Context) (uint64, error) {
 	d, ok := ctx.Deadline()
 	if !ok {
-		return 0
+		return 0, nil
 	}
 	rel := time.Until(d)
 	if rel <= 0 {
-		return 1 // already due: let the server answer stDeadline fast
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return 0, context.DeadlineExceeded
 	}
-	return uint64(rel)
+	return uint64(rel), nil
 }
 
 // Read returns n bytes at addr. Deadline-free reads ride the server's
@@ -186,8 +194,12 @@ func (c *Client) Read(addr uint64, n int) ([]byte, error) {
 // ReadCtx is Read bounded by ctx: the deadline travels in the frame and
 // maps to the store's ReadCtx on the server.
 func (c *Client) ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error) {
+	wd, err := wireDeadline(ctx)
+	if err != nil {
+		return nil, err
+	}
 	p := make([]byte, 0, 20)
-	p = be64Append(p, wireDeadline(ctx))
+	p = be64Append(p, wd)
 	p = be64Append(p, addr)
 	p = be32Append(p, uint32(n))
 	r, err := c.call(ctx, opRead, p)
@@ -217,8 +229,12 @@ func (c *Client) Write(addr uint64, data []byte) error {
 
 // WriteCtx is Write bounded by ctx.
 func (c *Client) WriteCtx(ctx context.Context, addr uint64, data []byte) error {
+	wd, err := wireDeadline(ctx)
+	if err != nil {
+		return err
+	}
 	p := make([]byte, 0, 16+len(data))
-	p = be64Append(p, wireDeadline(ctx))
+	p = be64Append(p, wd)
 	p = be64Append(p, addr)
 	p = append(p, data...)
 	r, err := c.call(ctx, opWrite, p)
@@ -245,8 +261,12 @@ func (c *Client) ReadBatchCtx(ctx context.Context, ops []pcache.ReadOp) (failed 
 	if len(ops) > maxBatchOps {
 		return len(ops), fmt.Errorf("netsrv: batch of %d ops exceeds limit %d", len(ops), maxBatchOps)
 	}
+	wd, err := wireDeadline(ctx)
+	if err != nil {
+		return len(ops), err
+	}
 	p := make([]byte, 0, 12+len(ops)*12)
-	p = be64Append(p, wireDeadline(ctx))
+	p = be64Append(p, wd)
 	p = be32Append(p, uint32(len(ops)))
 	for i := range ops {
 		p = be64Append(p, ops[i].Addr)
@@ -298,12 +318,16 @@ func (c *Client) WriteBatchCtx(ctx context.Context, ops []pcache.WriteOp) (faile
 	if len(ops) > maxBatchOps {
 		return len(ops), fmt.Errorf("netsrv: batch of %d ops exceeds limit %d", len(ops), maxBatchOps)
 	}
+	wd, err := wireDeadline(ctx)
+	if err != nil {
+		return len(ops), err
+	}
 	size := 12
 	for i := range ops {
 		size += 12 + len(ops[i].Data)
 	}
 	p := make([]byte, 0, size)
-	p = be64Append(p, wireDeadline(ctx))
+	p = be64Append(p, wd)
 	p = be32Append(p, uint32(len(ops)))
 	for i := range ops {
 		p = be64Append(p, ops[i].Addr)
@@ -337,7 +361,11 @@ func (c *Client) Flush() error {
 
 // FlushCtx is Flush bounded by ctx.
 func (c *Client) FlushCtx(ctx context.Context) error {
-	p := be64Append(make([]byte, 0, 8), wireDeadline(ctx))
+	wd, err := wireDeadline(ctx)
+	if err != nil {
+		return err
+	}
+	p := be64Append(make([]byte, 0, 8), wd)
 	r, err := c.call(ctx, opFlush, p)
 	if err != nil {
 		return err

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"twodcache/internal/pcache"
@@ -240,9 +241,14 @@ func appendFrame(buf []byte, op uint8, id uint64, payload ...[]byte) []byte {
 
 // deadlineCtx converts a wire deadline (relative nanoseconds) into a
 // context. A zero deadline returns the parent with a no-op cancel.
+// Values above MaxInt64 — which time.Duration cannot represent — clamp
+// to MaxInt64 instead of wrapping negative and expiring instantly.
 func deadlineCtx(parent context.Context, nanos uint64) (context.Context, context.CancelFunc) {
 	if nanos == 0 {
 		return parent, func() {}
+	}
+	if nanos > math.MaxInt64 {
+		nanos = math.MaxInt64
 	}
 	return context.WithTimeout(parent, time.Duration(nanos))
 }

@@ -164,6 +164,26 @@ func (h HistogramSnapshot) Mean() time.Duration {
 	return h.Sum / time.Duration(h.Count)
 }
 
+// Snapshot reads the histogram's buckets into a coherent
+// HistogramSnapshot. Count is derived from the loaded buckets, never
+// from an independently-read total, so Σ Counts == Count by
+// construction. Safe for concurrent use; Registry.Snapshot builds its
+// histogram views through this same method, so a subsystem holding a
+// bare *Histogram (the cluster hedger deriving its delay from a live
+// latency quantile) sees exactly what the registry would export.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		hs.Counts[i] = h.buckets[i].Load()
+		hs.Count += hs.Counts[i]
+	}
+	hs.Sum = time.Duration(h.sum.Load())
+	return hs
+}
+
 // CountLE returns how many observations are known to be <= bound.
 // exact reports whether bound coincides with a bucket boundary; when it
 // does not, the count is the conservative lower estimate from the last
@@ -197,17 +217,23 @@ func (h HistogramSnapshot) Quantile(q float64) time.Duration {
 	} else if q > 1 {
 		q = 1
 	}
+	// Nearest-rank floor: a non-empty sample's quantile is at least its
+	// smallest observation, so the rank is at least 1. Without the floor,
+	// q=0 against an empty first bucket would answer Bounds[0] — a bucket
+	// no observation ever landed in.
 	rank := q * float64(h.Count)
+	if rank < 1 {
+		rank = 1
+	}
 	var cum float64
 	for i, b := range h.Bounds {
 		c := float64(h.Counts[i])
 		if cum+c >= rank {
+			// c > 0 here: the loop only reaches bucket i with cum < rank,
+			// so an empty bucket can never satisfy cum+c >= rank.
 			lo := time.Duration(0)
 			if i > 0 {
 				lo = h.Bounds[i-1]
-			}
-			if c == 0 {
-				return b
 			}
 			frac := (rank - cum) / c
 			return lo + time.Duration(frac*float64(b-lo))
@@ -278,20 +304,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		case kindGauge:
 			s.Gauges[name] = m.gauge()
 		case kindHistogram:
-			h := m.hist
-			hs := HistogramSnapshot{
-				Bounds: h.bounds,
-				Counts: make([]uint64, len(h.buckets)),
-			}
-			// Count is derived from the loaded buckets, never from an
-			// independently-read total, so Σ Counts == Count by
-			// construction.
-			for i := range h.buckets {
-				hs.Counts[i] = h.buckets[i].Load()
-				hs.Count += hs.Counts[i]
-			}
-			hs.Sum = time.Duration(h.sum.Load())
-			s.Histograms[name] = hs
+			s.Histograms[name] = m.hist.Snapshot()
 		}
 	}
 	// Rule 2: declared cross-counter invariants.

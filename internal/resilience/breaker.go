@@ -1,15 +1,17 @@
 package resilience
 
 import (
-	"sync"
 	"time"
 )
 
-// BreakerConfig tunes the per-bank circuit breakers. The breaker sits
-// in front of the recovery rungs, not in front of the bank: an open
-// breaker does not reject traffic, it routes new uncorrectables on the
-// bank straight to the degrade/bypass rung, bounding how much repair
-// latency a persistently failing bank can charge its clients.
+// BreakerConfig tunes a HealthBreaker. For the engine's per-bank
+// breakers (set via Config.Breaker) the breaker sits in front of the
+// recovery rungs, not in front of the bank: an open breaker does not
+// reject traffic, it routes new uncorrectables on the bank straight to
+// the degrade/bypass rung, bounding how much repair latency a
+// persistently failing bank can charge its clients. The cluster layer
+// reuses the same machine per replica endpoint, where an open breaker
+// excludes the endpoint from reads and write fan-out attempts.
 type BreakerConfig struct {
 	// Disabled turns the breakers off: every repair runs the full
 	// ladder, as before this layer existed.
@@ -59,18 +61,6 @@ func (s breakerState) String() string {
 	}
 }
 
-// bankBreaker is one bank's breaker. Single-flight serialises repairs
-// per bank, so admit/record pairs never interleave for the same bank in
-// practice; the mutex still makes every path safe on its own.
-type bankBreaker struct {
-	mu       sync.Mutex
-	state    breakerState
-	fails    int  // consecutive failures while closed
-	probeOK  int  // consecutive probe successes while half-open
-	probing  bool // a probe repair is currently out
-	openedAt time.Time
-}
-
 // admitVerdict is the breaker's routing decision for a would-be repair.
 type admitVerdict int
 
@@ -84,32 +74,43 @@ const (
 	admitShed
 )
 
-// admit asks bank's breaker how to route a new repair. An open breaker
-// whose OpenTimeout has elapsed transitions to half-open here and
-// admits the caller as the probe; only one probe is out at a time.
+// newBankBreakers builds the engine's per-bank breakers over the shared
+// HealthBreaker machine. The transition hook keeps the engine's gauge,
+// trip/transition counters, and event stream exactly as the in-line
+// implementation did: every entry into the open state is a trip.
+func (e *Engine) newBankBreakers(n int) []*HealthBreaker {
+	bs := make([]*HealthBreaker, n)
+	for i := range bs {
+		bank := i
+		bs[i] = NewHealthBreaker(e.cfg.Breaker, e.clock, func(from, to, reason string) {
+			if to == breakerOpen.String() {
+				e.breakersOpen.Add(1)
+				e.breakerTrips.Inc()
+			}
+			if from == breakerOpen.String() {
+				e.breakersOpen.Add(-1)
+			}
+			e.breakerTransitions.Inc()
+			e.snk().BreakerTransition(bank, from, to, reason)
+		})
+	}
+	return bs
+}
+
+// admit asks bank's breaker how to route a new repair. Single-flight
+// serialises repairs per bank, so admit/record pairs never interleave
+// for the same bank in practice; the breaker is still safe on its own.
 func (e *Engine) admit(bank int) admitVerdict {
 	if e.cfg.Breaker.Disabled {
 		return admitRun
 	}
-	b := &e.breakers[bank]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerClosed:
+	switch e.breakers[bank].Admit() {
+	case BreakerRun:
 		return admitRun
-	case breakerOpen:
-		if e.clock().Sub(b.openedAt) < e.cfg.Breaker.OpenTimeout {
-			return admitShed
-		}
-		e.transitionLocked(bank, b, breakerHalfOpen, "open timeout elapsed")
-		b.probing = true
+	case BreakerProbe:
 		return admitProbe
-	default: // half-open
-		if b.probing {
-			return admitShed
-		}
-		b.probing = true
-		return admitProbe
+	default:
+		return admitShed
 	}
 }
 
@@ -120,38 +121,7 @@ func (e *Engine) recordBreaker(bank int, probe, success bool) {
 	if e.cfg.Breaker.Disabled {
 		return
 	}
-	b := &e.breakers[bank]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if probe {
-		b.probing = false
-	}
-	switch b.state {
-	case breakerClosed:
-		if success {
-			b.fails = 0
-			return
-		}
-		b.fails++
-		if b.fails >= e.cfg.Breaker.FailureThreshold {
-			b.openedAt = e.clock()
-			e.breakerTrips.Inc()
-			e.transitionLocked(bank, b, breakerOpen, "failure threshold")
-		}
-	case breakerHalfOpen:
-		if success {
-			b.probeOK++
-			if b.probeOK >= e.cfg.Breaker.ProbeSuccesses {
-				e.transitionLocked(bank, b, breakerClosed, "probe successes")
-			}
-			return
-		}
-		b.openedAt = e.clock()
-		e.breakerTrips.Inc()
-		e.transitionLocked(bank, b, breakerOpen, "probe failed")
-	case breakerOpen:
-		// A result landing after an independent re-open: stale, ignore.
-	}
+	e.breakers[bank].Record(probe, success)
 }
 
 // releaseBreaker returns a probe slot without recording an outcome —
@@ -161,36 +131,7 @@ func (e *Engine) releaseBreaker(bank int, probe bool) {
 	if !probe || e.cfg.Breaker.Disabled {
 		return
 	}
-	b := &e.breakers[bank]
-	b.mu.Lock()
-	b.probing = false
-	b.mu.Unlock()
-}
-
-// transitionLocked moves b to state `to`, maintaining counters, the
-// open-breakers gauge, and the event stream. Caller holds b.mu.
-func (e *Engine) transitionLocked(bank int, b *bankBreaker, to breakerState, reason string) {
-	from := b.state
-	if from == to {
-		return
-	}
-	b.state = to
-	switch to {
-	case breakerClosed:
-		b.fails, b.probeOK = 0, 0
-	case breakerOpen:
-		b.probeOK = 0
-	case breakerHalfOpen:
-		b.probeOK = 0
-	}
-	if to == breakerOpen {
-		e.breakersOpen.Add(1)
-	}
-	if from == breakerOpen {
-		e.breakersOpen.Add(-1)
-	}
-	e.breakerTransitions.Inc()
-	e.snk().BreakerTransition(bank, from.String(), to.String(), reason)
+	e.breakers[bank].Release(probe)
 }
 
 // BreakerState reports bank's breaker state ("closed", "open",
@@ -199,8 +140,5 @@ func (e *Engine) BreakerState(bank int) string {
 	if e.cfg.Breaker.Disabled || bank < 0 || bank >= len(e.breakers) {
 		return breakerClosed.String()
 	}
-	b := &e.breakers[bank]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.state.String()
+	return e.breakers[bank].State()
 }

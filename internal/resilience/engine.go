@@ -129,7 +129,7 @@ type Engine struct {
 	// chaos stall point hit at the full-2D rung.
 	flightMu sync.Mutex
 	flights  map[int]*flight
-	breakers []bankBreaker
+	breakers []*HealthBreaker
 	stall    *fault.Stall
 
 	// testHookLeadStart, when set, runs as the repair leader enters the
@@ -193,7 +193,6 @@ func New(c *pcache.Cache, cfg Config) *Engine {
 		metrics:      reg,
 		remappedOnce: map[int]bool{},
 		flights:      map[int]*flight{},
-		breakers:     make([]bankBreaker, c.NumBanks()),
 		stall:        cfg.RecoveryStall,
 
 		dues:          new(obs.Counter),
@@ -221,6 +220,7 @@ func New(c *pcache.Cache, cfg Config) *Engine {
 		scrubVictims:  new(obs.Counter),
 		scrubLatency:  obs.MustHistogram(),
 	}
+	e.breakers = e.newBankBreakers(c.NumBanks())
 	e.RegisterMetrics(reg)
 	e.SetEventSink(sink)
 	return e

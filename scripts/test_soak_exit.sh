@@ -120,4 +120,80 @@ kill -INT "$pid"
 wait "$pid"
 [ "$st" -eq 2 ] || fail "port-in-use -http run exited $st (want 2)"
 
+# 13. Replicated cluster drill: three cachenetd replicas behind
+#     deterministic chaos proxies, a closed-loop cacheload driving them,
+#     and one replica killed with SIGKILL mid-run then restarted on the
+#     same address with an empty store. The freshness machinery must
+#     keep every read correct: exit 0, zero silent corruption.
+netd="$tmp/cachenetd"
+load="$tmp/cacheload"
+go build -o "$netd" ./cmd/cachenetd || exit 1
+go build -o "$load" ./cmd/cacheload || exit 1
+
+start_netd() { # $1=outfile $2=addr $3=seed
+    "$netd" -addr "$2" -seed "$3" -chaos-seed "$3" \
+        -chaos-delay-prob 0.05 -chaos-reset-prob 0.002 -chaos-tear-prob 0.002 \
+        >"$1" 2>&1 &
+}
+netd_addr() { # $1=outfile — the client-facing (chaos proxy) address
+    for _ in $(seq 1 50); do
+        a=$(sed -n 's/^cachenetd: chaos proxy on \([^ ]*\) .*$/\1/p' "$1")
+        [ -n "$a" ] && { echo "$a"; return 0; }
+        sleep 0.1
+    done
+    return 1
+}
+
+start_netd "$tmp/n1.out" 127.0.0.1:0 101; pid1=$!
+start_netd "$tmp/n2.out" 127.0.0.1:0 102; pid2=$!
+start_netd "$tmp/n3.out" 127.0.0.1:0 103; pid3=$!
+a1=$(netd_addr "$tmp/n1.out") || fail "replica 1 never printed its address"
+a2=$(netd_addr "$tmp/n2.out") || fail "replica 2 never printed its address"
+a3=$(netd_addr "$tmp/n3.out") || fail "replica 3 never printed its address"
+
+"$load" -endpoints "$a1,$a2,$a3" -duration 5s -seed 7 -lines 512 >"$tmp/load.out" 2>&1 &
+loadpid=$!
+sleep 1.5
+kill -KILL "$pid2" 2>/dev/null
+wait "$pid2" 2>/dev/null
+sleep 1
+start_netd "$tmp/n2b.out" "$a2" 102; pid2=$!
+wait "$loadpid"
+st=$?
+kill -INT "$pid1" "$pid2" "$pid3" 2>/dev/null
+wait "$pid1" "$pid2" "$pid3" 2>/dev/null
+[ "$st" -eq 0 ] || { cat "$tmp/load.out" >&2; fail "cluster kill/restart drill exited $st (want 0)"; }
+grep -q "cacheload: PASS" "$tmp/load.out" \
+    || { cat "$tmp/load.out" >&2; fail "cluster drill printed no PASS banner"; }
+
+# 14. The skew selftest proves the shadow verifier would catch real
+#     replication divergence: -selftest-skew-writes silently skips one
+#     replica every Nth write, which MUST surface as silent corruption
+#     -> exit 1.
+"$netd" -addr 127.0.0.1:0 >"$tmp/s1.out" 2>&1 &
+spid1=$!
+"$netd" -addr 127.0.0.1:0 >"$tmp/s2.out" 2>&1 &
+spid2=$!
+"$netd" -addr 127.0.0.1:0 >"$tmp/s3.out" 2>&1 &
+spid3=$!
+plain_addr() { # $1=outfile
+    for _ in $(seq 1 50); do
+        a=$(sed -n 's/^cachenetd: listening on \([^ ]*\) .*$/\1/p' "$1")
+        [ -n "$a" ] && { echo "$a"; return 0; }
+        sleep 0.1
+    done
+    return 1
+}
+b1=$(plain_addr "$tmp/s1.out") || fail "skew replica 1 never printed its address"
+b2=$(plain_addr "$tmp/s2.out") || fail "skew replica 2 never printed its address"
+b3=$(plain_addr "$tmp/s3.out") || fail "skew replica 3 never printed its address"
+"$load" -endpoints "$b1,$b2,$b3" -duration 3s -seed 7 -lines 256 -selftest-skew-writes 4 \
+    >"$tmp/skew.out" 2>&1
+st=$?
+kill -INT "$spid1" "$spid2" "$spid3" 2>/dev/null
+wait "$spid1" "$spid2" "$spid3" 2>/dev/null
+[ "$st" -eq 1 ] || { cat "$tmp/skew.out" >&2; fail "skew selftest exited $st (want 1)"; }
+grep -q "FAIL — silent corruption detected" "$tmp/skew.out" \
+    || { cat "$tmp/skew.out" >&2; fail "skew selftest exit 1 was not the corruption banner"; }
+
 echo "test_soak_exit: OK"
