@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,11 +42,15 @@ import (
 	"twodcache"
 )
 
-// storeClient is the single-op surface shared by a NetClient and a
-// ClusterClient — the generator's worker loop drives either.
+// storeClient is the op surface shared by a NetClient and a
+// ClusterClient — the generator's worker loop drives either. The batch
+// calls carry the ctx deadline in the batch frame, so batch mode and
+// -deadline compose.
 type storeClient interface {
 	ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error)
 	WriteCtx(ctx context.Context, addr uint64, data []byte) error
+	ReadBatchCtx(ctx context.Context, ops []twodcache.BatchReadOp) (failed int, err error)
+	WriteBatchCtx(ctx context.Context, ops []twodcache.BatchWriteOp) (failed int, err error)
 	Epoch(addr uint64) (uint64, error)
 }
 
@@ -59,7 +64,7 @@ func main() {
 		lineBytes = flag.Int("line", 64, "line size in bytes (must match the server)")
 		writeFrac = flag.Float64("write-frac", 0.3, "fraction of ops that are writes")
 		batch     = flag.Int("batch", 0, "ops per batch frame (0 = single-op frames)")
-		deadline  = flag.Duration("deadline", 0, "per-op deadline (0 = none; single-op mode only)")
+		deadline  = flag.Duration("deadline", 0, "per-op deadline (0 = none); in batch mode it bounds each whole batch frame")
 		verify    = flag.Bool("verify", true, "shadow-check reads via the loss-epoch protocol (needs the server's EPOCH oracle)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		endpoints = flag.String("endpoints", "", "comma-separated replica addresses: drive a replicated cluster client instead of -addr")
@@ -73,19 +78,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	// clientFor hands worker w its client; batchClient is non-nil only in
-	// single-endpoint mode, where batch frames are available.
+	// clientFor hands worker w its client; both single-endpoint and
+	// cluster clients carry the full surface, batch frames included.
 	var (
-		clientFor   func(w int) storeClient
-		batchClient func(w int) *twodcache.NetClient
-		cluster     *twodcache.ClusterClient
-		clusterReg  = twodcache.NewMetricsRegistry()
+		clientFor  func(w int) storeClient
+		cluster    *twodcache.ClusterClient
+		clusterReg = twodcache.NewMetricsRegistry()
 	)
 	if *endpoints != "" {
-		if *batch > 0 {
-			fmt.Fprintln(os.Stderr, "cacheload: -batch is single-endpoint only (the cluster client has no batch path); drop -batch or -endpoints")
-			os.Exit(2)
-		}
 		eps := strings.Split(*endpoints, ",")
 		cc, err := twodcache.DialCluster(twodcache.ClusterConfig{
 			Endpoints: eps,
@@ -120,7 +120,6 @@ func main() {
 			clients[i] = c
 		}
 		clientFor = func(w int) storeClient { return clients[w / *pipeline] }
-		batchClient = func(w int) *twodcache.NetClient { return clients[w / *pipeline] }
 	}
 
 	// The loss-epoch oracle must be present when verifying.
@@ -155,9 +154,12 @@ func main() {
 	// the owning set's loss epoch sampled BEFORE the write was issued.
 	// Sampling before is conservative in the right direction: an epoch
 	// advance during the write window can only turn a real corruption
-	// into "accounted", never the reverse.
+	// into "accounted", never the reverse. data is a stable per-line
+	// buffer (written by copy, never re-allocated), so the steady-state
+	// generator allocates nothing per op.
 	type shadowLine struct {
 		data  []byte
+		valid bool
 		epoch uint64
 	}
 
@@ -177,6 +179,9 @@ func main() {
 	}
 
 	linesPer := *lines / workers
+	var memBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -192,10 +197,10 @@ func main() {
 			verifyRead := func(li int, got []byte, err error) {
 				if err != nil {
 					reported.Add(1)
-					shadow[li].data = nil // contents now unknown
+					shadow[li].valid = false // contents now unknown
 					return
 				}
-				if !*verify || shadow[li].data == nil {
+				if !*verify || !shadow[li].valid {
 					return
 				}
 				if bytes.Equal(got, shadow[li].data) {
@@ -204,12 +209,22 @@ func main() {
 				now, eerr := cl.Epoch(addrOf(li))
 				if eerr == nil && now > shadow[li].epoch {
 					accounted.Add(1)
-					shadow[li].data = nil
+					shadow[li].valid = false
 					return
 				}
 				silent.Add(1)
 				fmt.Fprintf(os.Stderr, "cacheload: SILENT corruption at %#x (epoch %d -> %d, %v)\n",
 					addrOf(li), shadow[li].epoch, now, eerr)
+			}
+			// noteWrite installs an acked write into the shadow by copy,
+			// so the caller's buffer is free for reuse next iteration.
+			noteWrite := func(li int, d []byte, epoch uint64) {
+				if shadow[li].data == nil {
+					shadow[li].data = make([]byte, len(d))
+				}
+				copy(shadow[li].data, d)
+				shadow[li].valid = true
+				shadow[li].epoch = epoch
 			}
 			// preWrite samples the epoch a write's shadow entry will
 			// carry; on epoch failure verification of that line pauses.
@@ -219,7 +234,7 @@ func main() {
 				}
 				e, err := cl.Epoch(addrOf(li))
 				if err != nil {
-					shadow[li].data = nil
+					shadow[li].valid = false
 					return 0, false
 				}
 				return e, true
@@ -228,27 +243,75 @@ func main() {
 				rng.Read(buf)
 			}
 
+			// Per-worker reusable scratch: op slices, index/epoch shadows,
+			// and one line buffer per batch slot (write payloads and read
+			// destinations both) — nothing below allocates per iteration.
+			k := *batch
+			var (
+				wops   []twodcache.BatchWriteOp
+				rops   []twodcache.BatchReadOp
+				lis    []int
+				epochs []uint64
+				oks    []bool
+				bufs   [][]byte
+			)
+			if k > 0 {
+				wops = make([]twodcache.BatchWriteOp, k)
+				rops = make([]twodcache.BatchReadOp, k)
+				lis = make([]int, k)
+				epochs = make([]uint64, k)
+				oks = make([]bool, k)
+				bufs = make([][]byte, k)
+				for j := range bufs {
+					bufs[j] = make([]byte, *lineBytes)
+				}
+			}
+			wbuf := make([]byte, *lineBytes)
+
+			// batchAbort handles a call-level batch failure: a deadline
+			// (or closed-client race at drain) is a reported outcome for
+			// every op in the frame, not a generator fatality.
+			batchAbort := func(err error, isWrite bool) bool {
+				if fatalClientErr(err) || !errors.Is(err, context.DeadlineExceeded) {
+					return false // transport down: end the worker
+				}
+				for j := 0; j < k; j++ {
+					if isWrite {
+						writes.Add(1)
+					} else {
+						reads.Add(1)
+					}
+					ops.Add(1)
+					reported.Add(1)
+					shadow[lis[j]].valid = false
+				}
+				return true
+			}
+
 			for ctx.Err() == nil {
-				if *batch > 0 {
+				opCtx := context.Background()
+				var opCancel context.CancelFunc = func() {}
+				if *deadline > 0 {
+					opCtx, opCancel = context.WithTimeout(opCtx, *deadline)
+				}
+
+				if k > 0 {
 					// Batch mode: one frame, k ops, one amortised store
-					// call on the server (single-endpoint mode only; the
-					// flag parser rejected -batch with -endpoints).
-					bc := batchClient(w)
-					k := *batch
+					// call per replica; the deadline bounds the frame.
 					if rng.Float64() < *writeFrac {
-						wops := make([]twodcache.BatchWriteOp, k)
-						lis := make([]int, k)
-						epochs := make([]uint64, k)
-						oks := make([]bool, k)
 						for j := 0; j < k; j++ {
 							lis[j] = rng.Intn(linesPer)
 							epochs[j], oks[j] = preWrite(lis[j])
-							d := make([]byte, *lineBytes)
-							fill(d)
-							wops[j] = twodcache.BatchWriteOp{Addr: addrOf(lis[j]), Data: d}
+							fill(bufs[j])
+							wops[j] = twodcache.BatchWriteOp{Addr: addrOf(lis[j]), Data: bufs[j]}
 						}
-						if _, err := bc.WriteBatch(wops); err != nil {
-							return // transport down (drain or test end)
+						_, err := cl.WriteBatchCtx(opCtx, wops)
+						opCancel()
+						if err != nil {
+							if batchAbort(err, true) {
+								continue
+							}
+							return
 						}
 						for j := 0; j < k; j++ {
 							writes.Add(1)
@@ -256,21 +319,24 @@ func main() {
 							bytesIO.Add(uint64(*lineBytes))
 							if wops[j].Err != nil {
 								reported.Add(1)
-								shadow[lis[j]].data = nil
+								shadow[lis[j]].valid = false
 								continue
 							}
 							if oks[j] {
-								shadow[lis[j]] = shadowLine{data: wops[j].Data, epoch: epochs[j]}
+								noteWrite(lis[j], bufs[j], epochs[j])
 							}
 						}
 					} else {
-						rops := make([]twodcache.BatchReadOp, k)
-						lis := make([]int, k)
 						for j := 0; j < k; j++ {
 							lis[j] = rng.Intn(linesPer)
-							rops[j] = twodcache.BatchReadOp{Addr: addrOf(lis[j]), Dst: make([]byte, *lineBytes)}
+							rops[j] = twodcache.BatchReadOp{Addr: addrOf(lis[j]), Dst: bufs[j]}
 						}
-						if _, err := bc.ReadBatch(rops); err != nil {
+						_, err := cl.ReadBatchCtx(opCtx, rops)
+						opCancel()
+						if err != nil {
+							if batchAbort(err, false) {
+								continue
+							}
 							return
 						}
 						for j := 0; j < k; j++ {
@@ -285,16 +351,10 @@ func main() {
 
 				// Single-op mode, optionally deadline-bounded.
 				li := rng.Intn(linesPer)
-				opCtx := context.Background()
-				var opCancel context.CancelFunc = func() {}
-				if *deadline > 0 {
-					opCtx, opCancel = context.WithTimeout(opCtx, *deadline)
-				}
 				if rng.Float64() < *writeFrac {
 					epoch, ok := preWrite(li)
-					d := make([]byte, *lineBytes)
-					fill(d)
-					err := cl.WriteCtx(opCtx, addrOf(li), d)
+					fill(wbuf)
+					err := cl.WriteCtx(opCtx, addrOf(li), wbuf)
 					opCancel()
 					if fatalClientErr(err) {
 						return
@@ -304,11 +364,11 @@ func main() {
 					bytesIO.Add(uint64(*lineBytes))
 					if err != nil {
 						reported.Add(1)
-						shadow[li].data = nil
+						shadow[li].valid = false
 						continue
 					}
 					if ok {
-						shadow[li] = shadowLine{data: d, epoch: epoch}
+						noteWrite(li, wbuf, epoch)
 					}
 				} else {
 					t0 := time.Now()
@@ -328,6 +388,8 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	total := ops.Load()
 	fmt.Printf("cacheload: %d ops in %v — %.0f ops/s, %.1f MiB/s (%d reads, %d writes)\n",
@@ -337,6 +399,13 @@ func main() {
 		reads.Load(), writes.Load())
 	fmt.Printf("  accounting: %d reported DUE/aborts, %d accounted losses, %d SILENT corruptions\n",
 		reported.Load(), accounted.Load(), silent.Load())
+	if total > 0 {
+		// Whole-process deltas: the generator's own overhead rides along,
+		// so this is an upper bound on the client stack's allocation rate.
+		fmt.Printf("  client-side: %.1f allocs/op, %.0f alloc-bytes/op\n",
+			float64(memAfter.Mallocs-memBefore.Mallocs)/float64(total),
+			float64(memAfter.TotalAlloc-memBefore.TotalAlloc)/float64(total))
+	}
 	snap := clusterReg.Snapshot()
 	if h := snap.Histogram("load_read_latency"); h.Count > 0 {
 		fmt.Printf("  read latency: p50 %v  p90 %v  p99 %v (%d samples)\n",

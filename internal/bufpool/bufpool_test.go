@@ -1,0 +1,144 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestClassGeometry pins the rounding: Get(n) has length n and a
+// power-of-two capacity no smaller than n (and no smaller than the
+// 64-byte floor), and oversized asks fall back to exact allocations.
+func TestClassGeometry(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 4096, 4097, 1 << 20, 1<<22 - 1, 1 << 22} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d): len %d", n, len(b))
+		}
+		c := cap(b)
+		if c < 64 || c&(c-1) != 0 || c < n {
+			t.Fatalf("Get(%d): cap %d not a class", n, c)
+		}
+		Put(b)
+	}
+	big := Get(1<<22 + 1)
+	if len(big) != 1<<22+1 {
+		t.Fatalf("oversized Get: len %d", len(big))
+	}
+	Put(big) // dropped, not filed — must not panic
+}
+
+// TestRecycle proves a Put buffer comes back on the next same-class Get
+// in check mode (deterministic LIFO), with the requested length.
+func TestRecycle(t *testing.T) {
+	SetCheck(true)
+	defer SetCheck(false)
+	b := Get(100)
+	p := &b[:1][0]
+	Put(b)
+	b2 := Get(80)
+	if &b2[:1][0] != p {
+		t.Fatal("same-class Get did not recycle the Put buffer")
+	}
+	if len(b2) != 80 {
+		t.Fatalf("recycled length %d, want 80", len(b2))
+	}
+	Put(b2)
+}
+
+// TestOutstanding pins the leak detector: Get raises it, Put lowers it.
+func TestOutstanding(t *testing.T) {
+	SetCheck(true)
+	defer SetCheck(false)
+	if Outstanding() != 0 {
+		t.Fatalf("fresh check mode: %d outstanding", Outstanding())
+	}
+	a, b := Get(64), Get(4096)
+	if Outstanding() != 2 {
+		t.Fatalf("after 2 Gets: %d outstanding", Outstanding())
+	}
+	Put(a)
+	Put(b)
+	if Outstanding() != 0 {
+		t.Fatalf("after matching Puts: %d outstanding (leak?)", Outstanding())
+	}
+}
+
+// TestDoublePutPanics pins the detector the rest of the system relies
+// on: returning one buffer twice panics at the second Put instead of
+// silently handing the same memory to two future owners.
+func TestDoublePutPanics(t *testing.T) {
+	SetCheck(true)
+	defer SetCheck(false)
+	b := Get(256)
+	Put(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	Put(b)
+}
+
+// TestUseAfterPutPanics pins the poison check: writing through a stale
+// reference after Put is caught at the next Get of that class.
+func TestUseAfterPutPanics(t *testing.T) {
+	SetCheck(true)
+	defer SetCheck(false)
+	b := Get(256)
+	Put(b)
+	b[17] = 0x42 // stale write through the returned buffer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("use-after-put was not detected at Get")
+		}
+	}()
+	Get(256)
+}
+
+// TestConcurrentFastPath hammers the lock-free pools from many
+// goroutines; meaningful mainly under -race (the check.sh race list
+// includes this package).
+func TestConcurrentFastPath(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := 1 << (6 + i%8)
+				b := Get(n + i%7)
+				for j := range b {
+					b[j] = seed
+				}
+				for j := range b {
+					if b[j] != seed {
+						t.Errorf("buffer shared between goroutines")
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}
+
+// TestAllocSteadyState pins the point of the package: a Get/Put cycle
+// in steady state allocates nothing.
+func TestAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	// Warm the class and the header pool.
+	for i := 0; i < 4; i++ {
+		Put(Get(1024))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		b := Get(1024)
+		b[0] = 1
+		Put(b)
+	})
+	if avg > 0.1 {
+		t.Fatalf("steady-state Get/Put allocates %.2f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build race
+
+package bufpool
+
+// raceEnabled reports that this test binary was built with -race.
+const raceEnabled = true

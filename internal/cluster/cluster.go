@@ -44,6 +44,7 @@ import (
 	"twodcache/internal/fault"
 	"twodcache/internal/netsrv"
 	"twodcache/internal/obs"
+	"twodcache/internal/pcache"
 	"twodcache/internal/resilience"
 )
 
@@ -64,10 +65,15 @@ var (
 
 // Conn is the per-endpoint transport the cluster drives — the subset of
 // netsrv.Client it needs, an interface so tests can substitute
-// in-process fakes.
+// in-process fakes. The batch forms carry per-op outcomes in each op's
+// Err field and return a transport-level error only when no op was
+// served; a ctx deadline travels in the batch frame and bounds the
+// whole batch server-side.
 type Conn interface {
 	ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error)
 	WriteCtx(ctx context.Context, addr uint64, data []byte) error
+	ReadBatchCtx(ctx context.Context, ops []pcache.ReadOp) (failed int, err error)
+	WriteBatchCtx(ctx context.Context, ops []pcache.WriteOp) (failed int, err error)
 	FlushCtx(ctx context.Context) error
 	Epoch(addr uint64) (uint64, error)
 	Close() error

@@ -292,6 +292,31 @@ func (f *fakeConn) WriteCtx(ctx context.Context, addr uint64, data []byte) error
 	return nil
 }
 
+// ReadBatchCtx serves each op through the single-op path, so the same
+// programmable error/delay hooks drive batch tests.
+func (f *fakeConn) ReadBatchCtx(ctx context.Context, ops []pcache.ReadOp) (failed int, err error) {
+	for i := range ops {
+		d, rerr := f.ReadCtx(ctx, ops[i].Addr, len(ops[i].Dst))
+		ops[i].Err = rerr
+		if rerr != nil {
+			failed++
+			continue
+		}
+		copy(ops[i].Dst, d)
+	}
+	return failed, nil
+}
+
+func (f *fakeConn) WriteBatchCtx(ctx context.Context, ops []pcache.WriteOp) (failed int, err error) {
+	for i := range ops {
+		ops[i].Err = f.WriteCtx(ctx, ops[i].Addr, ops[i].Data)
+		if ops[i].Err != nil {
+			failed++
+		}
+	}
+	return failed, nil
+}
+
 func (f *fakeConn) FlushCtx(context.Context) error { return nil }
 func (f *fakeConn) Epoch(uint64) (uint64, error)   { return 0, nil }
 func (f *fakeConn) Close() error                   { return nil }
@@ -586,4 +611,84 @@ func TestClusterChaosHammer(t *testing.T) {
 		t.Fatal("chaos killed every read; loosen the probabilities")
 	}
 	t.Logf("chaos hammer: %d verified reads, 0 mismatches", successes)
+}
+
+// TestClusterBatchFreshnessPartition pins the batch plane's freshness
+// invariant: a batch read routes each op only to endpoints fresh for
+// that addr, an op no fresh replica can serve fails with ErrNoReplicas
+// instead of returning stale bytes, and a batch write's per-replica
+// failures land the addrs in that replica's missed set.
+func TestClusterBatchFreshnessPartition(t *testing.T) {
+	a, b := newFakeConn(), newFakeConn()
+	c := newCluster(t, Config{
+		Endpoints:      []string{"a", "b"},
+		Dial:           fakeDialer(map[string]Conn{"a": a, "b": b}),
+		RepairInterval: time.Hour, // keep repair from healing mid-test
+		MaxRetries:     -1,
+	})
+
+	wops := make([]pcache.WriteOp, 4)
+	for i := range wops {
+		wops[i] = pcache.WriteOp{Addr: uint64(i) * lineBytes, Data: bytes.Repeat([]byte{byte(i + 1)}, lineBytes)}
+	}
+	if failed, err := c.WriteBatchCtx(context.Background(), wops); failed != 0 || err != nil {
+		t.Fatalf("batch write failed=%d err=%v (%v)", failed, err, wops[0].Err)
+	}
+	if a.writes() != 4 || b.writes() != 4 {
+		t.Fatalf("write fan-out: a=%d b=%d, want 4/4", a.writes(), b.writes())
+	}
+
+	// Poison endpoint a for addr 0: reads for it must route to b.
+	c.eps[0].markMissed(0, lineBytes)
+	rops := make([]pcache.ReadOp, 4)
+	for i := range rops {
+		rops[i] = pcache.ReadOp{Addr: uint64(i) * lineBytes, Dst: make([]byte, lineBytes)}
+	}
+	if failed, err := c.ReadBatchCtx(context.Background(), rops); failed != 0 || err != nil {
+		t.Fatalf("batch read failed=%d err=%v (%v)", failed, err, rops[0].Err)
+	}
+	for i := range rops {
+		if !bytes.Equal(rops[i].Dst, bytes.Repeat([]byte{byte(i + 1)}, lineBytes)) {
+			t.Fatalf("op %d read back %x", i, rops[i].Dst[:4])
+		}
+	}
+
+	// Now poison BOTH endpoints for addr 0: the op must fail loudly with
+	// ErrNoReplicas while its batchmates are still served.
+	c.eps[0].markMissed(0, lineBytes)
+	c.eps[1].markMissed(0, lineBytes)
+	for i := range rops {
+		rops[i] = pcache.ReadOp{Addr: uint64(i) * lineBytes, Dst: make([]byte, lineBytes)}
+	}
+	failed, err := c.ReadBatchCtx(context.Background(), rops)
+	if err != nil || failed != 1 {
+		t.Fatalf("poisoned batch read failed=%d err=%v", failed, err)
+	}
+	if !errors.Is(rops[0].Err, ErrNoReplicas) {
+		t.Fatalf("op 0 err = %v, want ErrNoReplicas", rops[0].Err)
+	}
+	for i := 1; i < len(rops); i++ {
+		if rops[i].Err != nil || !bytes.Equal(rops[i].Dst, bytes.Repeat([]byte{byte(i + 1)}, lineBytes)) {
+			t.Fatalf("batchmate %d not served: %v %x", i, rops[i].Err, rops[i].Dst[:4])
+		}
+	}
+
+	// A batch write where one replica fails every op: the write still
+	// succeeds (the other replica applied), and the failing replica's
+	// missed set holds every addr in the batch.
+	b.mu.Lock()
+	b.writeErr = func(int) error { return errors.New("disk on fire") }
+	b.mu.Unlock()
+	for i := range wops {
+		wops[i].Err = nil
+	}
+	if failed, err := c.WriteBatchCtx(context.Background(), wops); failed != 0 || err != nil {
+		t.Fatalf("degraded batch write failed=%d err=%v (%v)", failed, err, wops[0].Err)
+	}
+	c.eps[1].mu.Lock()
+	missed := len(c.eps[1].missed)
+	c.eps[1].mu.Unlock()
+	if missed < len(wops) {
+		t.Fatalf("failing replica missed set has %d addrs, want >= %d", missed, len(wops))
+	}
 }

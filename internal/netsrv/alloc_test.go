@@ -1,0 +1,87 @@
+package netsrv
+
+import (
+	"bytes"
+	"testing"
+
+	"twodcache/internal/pcache"
+	"twodcache/internal/resilience"
+)
+
+// Alloc-regression pins for the zero-copy batch plane. AllocsPerRun
+// counts the process's global mallocs, so each ceiling covers BOTH
+// sides of the loopback round trip — the client encoding the request
+// and the server parsing, serving, and answering it. The ceilings sit
+// above the steady-state measurements (~3 allocs/op) with headroom for
+// pool refills and scheduler noise, and far below the pre-pooling
+// numbers (15–50), so a regression that reintroduces per-op buffer
+// churn fails loudly.
+//
+// Skipped under -race: the race runtime allocates per sync operation
+// and the pins would measure it, not the code.
+
+func pinAllocs(t *testing.T, what string, ceiling float64, f func()) {
+	t.Helper()
+	f() // warm the pools and the server's conn scratch
+	if got := testing.AllocsPerRun(50, f); got > ceiling {
+		t.Errorf("%s: %.1f allocs/op, want <= %.0f", what, got, ceiling)
+	}
+}
+
+func TestLoopbackAllocsSingle(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc pins are meaningless under -race")
+	}
+	st, _ := newStore(t, 1, resilience.Config{})
+	_, addr := startServer(t, st, Config{})
+	cl := dial(t, addr)
+
+	data := bytes.Repeat([]byte{0xAB}, lineBytes)
+	if err := cl.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, lineBytes)
+
+	pinAllocs(t, "single read round trip", 8, func() {
+		if err := cl.ReadInto(0, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	pinAllocs(t, "single write round trip", 8, func() {
+		if err := cl.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestLoopbackAllocsBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc pins are meaningless under -race")
+	}
+	st, _ := newStore(t, 1, resilience.Config{})
+	_, addr := startServer(t, st, Config{})
+	cl := dial(t, addr)
+
+	const nOps = 32
+	wops := make([]pcache.WriteOp, nOps)
+	for i := range wops {
+		wops[i] = pcache.WriteOp{Addr: uint64(i) * lineBytes, Data: bytes.Repeat([]byte{byte(i)}, lineBytes)}
+	}
+	rops := make([]pcache.ReadOp, nOps)
+	for i := range rops {
+		rops[i] = pcache.ReadOp{Addr: uint64(i) * lineBytes, Dst: make([]byte, lineBytes)}
+	}
+
+	// Whole-batch ceilings (not per op): before pooling, a 32-op read
+	// round trip cost ~50 allocs and a write ~18.
+	pinAllocs(t, "32-op batch write round trip", 10, func() {
+		if failed, err := cl.WriteBatch(wops); failed != 0 || err != nil {
+			t.Fatalf("failed=%d err=%v", failed, err)
+		}
+	})
+	pinAllocs(t, "32-op batch read round trip", 10, func() {
+		if failed, err := cl.ReadBatch(rops); failed != 0 || err != nil {
+			t.Fatalf("failed=%d err=%v", failed, err)
+		}
+	})
+}

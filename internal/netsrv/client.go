@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"twodcache/internal/bufpool"
 	"twodcache/internal/pcache"
 )
 
@@ -24,9 +25,12 @@ type Client struct {
 
 	// wmu serialises frame writes; the bufio flush after every send
 	// keeps single-caller latency low while still letting concurrent
-	// callers interleave whole frames.
+	// callers interleave whole frames. hdr is the wmu-guarded header
+	// scratch: frames go out as a header write plus a payload write, so
+	// no per-call frame buffer is ever assembled.
 	wmu sync.Mutex
 	bw  *bufio.Writer
+	hdr [frameHeader + frameFixed]byte
 
 	pmu     sync.Mutex
 	pending map[uint64]chan wireResp
@@ -41,6 +45,12 @@ type wireResp struct {
 	status  uint8
 	payload []byte
 }
+
+// respChanPool recycles the per-call response channels. A channel is
+// returned to the pool ONLY on the happy receive path: a call abandoned
+// at ctx expiry (or client death) may still receive a late send from
+// readLoop, so its channel must never be reused.
+var respChanPool = sync.Pool{New: func() any { return make(chan wireResp, 1) }}
 
 // Dial connects a Client to a cachenetd-style server.
 func Dial(addr string) (*Client, error) {
@@ -123,14 +133,17 @@ func (c *Client) readLoop() {
 }
 
 // call sends one request frame and waits for its response under ctx.
+// The payload is fully consumed by the time call returns, so callers
+// that drew it from bufpool may Put it back immediately after.
 func (c *Client) call(ctx context.Context, op uint8, payload []byte) (wireResp, error) {
 	if err := ctx.Err(); err != nil {
 		return wireResp{}, err
 	}
-	ch := make(chan wireResp, 1)
+	ch := respChanPool.Get().(chan wireResp)
 	c.pmu.Lock()
 	if c.closed {
 		c.pmu.Unlock()
+		respChanPool.Put(ch)
 		return wireResp{}, c.closedErr()
 	}
 	c.nextID++
@@ -139,8 +152,13 @@ func (c *Client) call(ctx context.Context, op uint8, payload []byte) (wireResp, 
 	c.pmu.Unlock()
 
 	c.wmu.Lock()
-	frame := appendFrame(nil, op, id, payload)
-	_, werr := c.bw.Write(frame)
+	bePut32(c.hdr[:], uint32(frameFixed+len(payload)))
+	c.hdr[4] = op
+	bePut64(c.hdr[5:], id)
+	_, werr := c.bw.Write(c.hdr[:])
+	if werr == nil && len(payload) > 0 {
+		_, werr = c.bw.Write(payload)
+	}
 	if werr == nil {
 		werr = c.bw.Flush()
 	}
@@ -152,8 +170,11 @@ func (c *Client) call(ctx context.Context, op uint8, payload []byte) (wireResp, 
 
 	select {
 	case r := <-ch:
+		respChanPool.Put(ch)
 		return r, nil
 	case <-ctx.Done():
+		// The channel may still receive a late send — leak it to the GC
+		// rather than ever reusing it.
 		c.pmu.Lock()
 		delete(c.pending, id)
 		c.pmu.Unlock()
@@ -198,11 +219,12 @@ func (c *Client) ReadCtx(ctx context.Context, addr uint64, n int) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
-	p := make([]byte, 0, 20)
+	p := bufpool.Get(20)[:0]
 	p = be64Append(p, wd)
 	p = be64Append(p, addr)
 	p = be32Append(p, uint32(n))
 	r, err := c.call(ctx, opRead, p)
+	bufpool.Put(p)
 	if err != nil {
 		return nil, err
 	}
@@ -233,11 +255,12 @@ func (c *Client) WriteCtx(ctx context.Context, addr uint64, data []byte) error {
 	if err != nil {
 		return err
 	}
-	p := make([]byte, 0, 16+len(data))
+	p := bufpool.Get(16 + len(data))[:0]
 	p = be64Append(p, wd)
 	p = be64Append(p, addr)
 	p = append(p, data...)
 	r, err := c.call(ctx, opWrite, p)
+	bufpool.Put(p)
 	if err != nil {
 		return err
 	}
@@ -265,7 +288,7 @@ func (c *Client) ReadBatchCtx(ctx context.Context, ops []pcache.ReadOp) (failed 
 	if err != nil {
 		return len(ops), err
 	}
-	p := make([]byte, 0, 12+len(ops)*12)
+	p := bufpool.Get(12 + len(ops)*12)[:0]
 	p = be64Append(p, wd)
 	p = be32Append(p, uint32(len(ops)))
 	for i := range ops {
@@ -273,6 +296,7 @@ func (c *Client) ReadBatchCtx(ctx context.Context, ops []pcache.ReadOp) (failed 
 		p = be32Append(p, uint32(len(ops[i].Dst)))
 	}
 	r, err := c.call(ctx, opBatchRead, p)
+	bufpool.Put(p)
 	if err != nil {
 		return len(ops), err
 	}
@@ -326,7 +350,7 @@ func (c *Client) WriteBatchCtx(ctx context.Context, ops []pcache.WriteOp) (faile
 	for i := range ops {
 		size += 12 + len(ops[i].Data)
 	}
-	p := make([]byte, 0, size)
+	p := bufpool.Get(size)[:0]
 	p = be64Append(p, wd)
 	p = be32Append(p, uint32(len(ops)))
 	for i := range ops {
@@ -335,6 +359,7 @@ func (c *Client) WriteBatchCtx(ctx context.Context, ops []pcache.WriteOp) (faile
 		p = append(p, ops[i].Data...)
 	}
 	r, err := c.call(ctx, opBatchWrite, p)
+	bufpool.Put(p)
 	if err != nil {
 		return len(ops), err
 	}
@@ -365,8 +390,9 @@ func (c *Client) FlushCtx(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	p := be64Append(make([]byte, 0, 8), wd)
+	p := be64Append(bufpool.Get(8)[:0], wd)
 	r, err := c.call(ctx, opFlush, p)
+	bufpool.Put(p)
 	if err != nil {
 		return err
 	}
@@ -389,8 +415,9 @@ func (c *Client) Stats() (pcache.Stats, error) {
 // oracle's primitive for telling accounted loss from silent corruption.
 // Servers without an epoch oracle answer ErrUnsupported.
 func (c *Client) Epoch(addr uint64) (uint64, error) {
-	p := be64Append(make([]byte, 0, 8), addr)
+	p := be64Append(bufpool.Get(8)[:0], addr)
 	r, err := c.call(context.Background(), opEpoch, p)
+	bufpool.Put(p)
 	if err != nil {
 		return 0, err
 	}

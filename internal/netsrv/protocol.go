@@ -24,6 +24,15 @@
 //	STATS       := (empty)
 //	EPOCH       := u64 addr
 //
+// A nonzero deadline on a batch frame bounds the batch end-to-end: the
+// server maps it to a context on the store's ReadBatchCtx/WriteBatchCtx
+// path, so per-op recovery work is deadline-bounded exactly like a
+// single-op READ/WRITE, and ops the deadline kills answer stDeadline
+// (or stRecoveryInProgress) individually inside an stOK batch response.
+// A batch whose deadline has already expired on arrival is not served:
+// every op reports stDeadline — an expired batch deadline is per-op
+// deadline outcomes, never silent success.
+//
 // Responses echo the opcode and request id, then carry a status byte:
 //
 //	response := u8 status | payload
@@ -48,6 +57,7 @@ import (
 	"math"
 	"time"
 
+	"twodcache/internal/bufpool"
 	"twodcache/internal/pcache"
 	"twodcache/internal/resilience"
 )
@@ -190,6 +200,7 @@ func be64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
 func be32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
 
 func bePut64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+func bePut32(b []byte, v uint32) { binary.BigEndian.PutUint32(b, v) }
 
 func be64Append(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 func be32Append(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
@@ -202,9 +213,24 @@ type frame struct {
 }
 
 // readFrame decodes one frame. The payload is freshly allocated per
-// frame: handlers may retain it (batch accumulation does) until the
-// response is written.
+// frame and owned by the caller — the client uses this form because
+// response payloads transfer ownership outward (Read hands its payload
+// to the caller).
 func readFrame(r io.Reader) (frame, error) {
+	return readFrameAlloc(r, plainAlloc)
+}
+
+func plainAlloc(n int) []byte { return make([]byte, n) }
+
+// readFramePooled is readFrame with the payload drawn from bufpool.
+// The caller owns the payload and must Put it back once nothing
+// aliases it — the server's reader loop does, at the point each
+// handler stops retaining the frame.
+func readFramePooled(r io.Reader) (frame, error) {
+	return readFrameAlloc(r, bufpool.Get)
+}
+
+func readFrameAlloc(r io.Reader, alloc func(int) []byte) (frame, error) {
 	var hdr [frameHeader + frameFixed]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return frame{}, err
@@ -216,7 +242,7 @@ func readFrame(r io.Reader) (frame, error) {
 	f := frame{
 		op:      hdr[4],
 		id:      binary.BigEndian.Uint64(hdr[5:13]),
-		payload: make([]byte, length-frameFixed),
+		payload: alloc(int(length - frameFixed)),
 	}
 	if _, err := io.ReadFull(r, f.payload); err != nil {
 		return frame{}, err

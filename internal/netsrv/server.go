@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"twodcache/internal/bufpool"
 	"twodcache/internal/obs"
 	"twodcache/internal/pcache"
 	"twodcache/internal/store"
@@ -249,6 +250,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // conn is one client connection: a reader goroutine that parses frames
 // and accumulates single ops into store batches, and a writer goroutine
 // draining the bounded response queue.
+//
+// Buffer ownership on this path is explicit: request-frame payloads
+// and read-destination arenas come from bufpool and return to it at the
+// point nothing aliases them any more (the end of the handler, or the
+// batch flush that consumes what the handler retained); response frames
+// come from bufpool and are returned by writeLoop after hitting the
+// socket. The reader goroutine owns every field below except out/werr.
 type conn struct {
 	srv *Server
 	nc  net.Conn
@@ -260,13 +268,81 @@ type conn struct {
 
 	// One homogeneous pending batch at a time: mixing kinds would
 	// reorder a connection's read-after-write to the same line, so a
-	// kind switch flushes first.
+	// kind switch flushes first. reads doubles as the BATCH_READ op
+	// scratch (the pending batch is always flushed first), writes as
+	// the BATCH_WRITE scratch; both are trimmed back to batchSize after
+	// an oversized batch frame so one huge batch does not pin its
+	// high-water memory for the connection's lifetime.
 	reads    []pcache.ReadOp
 	readIDs  []uint64
 	readT0   []time.Time
 	writes   []pcache.WriteOp
 	writeIDs []uint64
 	writeT0  []time.Time
+
+	// retained holds request-frame payloads pinned by pending single
+	// writes (each op's Data aliases its frame); they go back to the
+	// pool once the write batch executes.
+	retained [][]byte
+	// arenas back read destinations: Dsts are carved from pooled
+	// chunks, and the chunks are Put once the responses holding copies
+	// of the data have been built.
+	arenas [][]byte
+}
+
+// arenaChunk is the default read-destination arena size — large enough
+// that a full default batch of line-sized reads carves from one chunk.
+const arenaChunk = 64 * 1024
+
+// carve returns an n-byte read destination from the connection's
+// current arena, growing by pooled chunks as needed. Earlier carvings
+// are never moved (a fresh chunk is opened instead), so Dst slices stay
+// valid until releaseArenas.
+func (c *conn) carve(n int) []byte {
+	if len(c.arenas) == 0 || len(c.arenas[len(c.arenas)-1])+n > cap(c.arenas[len(c.arenas)-1]) {
+		sz := arenaChunk
+		if n > sz {
+			sz = n
+		}
+		c.arenas = append(c.arenas, bufpool.Get(sz)[:0])
+	}
+	a := c.arenas[len(c.arenas)-1]
+	off := len(a)
+	a = a[:off+n]
+	c.arenas[len(c.arenas)-1] = a
+	return a[off:len(a):len(a)]
+}
+
+// releaseArenas returns every arena chunk to the pool. Callers must
+// have copied all live Dst data out first.
+func (c *conn) releaseArenas() {
+	for i, a := range c.arenas {
+		bufpool.Put(a)
+		c.arenas[i] = nil
+	}
+	c.arenas = c.arenas[:0]
+}
+
+// releaseRetained returns the request frames pinned by pending single
+// writes. Call only after the batch holding their aliases executed.
+func (c *conn) releaseRetained() {
+	for i, b := range c.retained {
+		bufpool.Put(b)
+		c.retained[i] = nil
+	}
+	c.retained = c.retained[:0]
+}
+
+// trimOps resets s for reuse, clearing stale elements (so dropped
+// buffers are not pinned through the backing array) and giving back the
+// capacity an oversized batch grew: past max, the scratch shrinks to
+// max instead of pinning its high-water mark forever.
+func trimOps[T any](s []T, max int) []T {
+	if cap(s) > max {
+		return make([]T, 0, max)
+	}
+	clear(s[:cap(s)])
+	return s[:0]
 }
 
 // serve is the connection's reader loop.
@@ -285,7 +361,7 @@ func (c *conn) serve() {
 		if (len(c.reads) > 0 || len(c.writes) > 0) && c.br.Buffered() == 0 {
 			c.flushBatches()
 		}
-		f, err := readFrame(c.br)
+		f, err := readFramePooled(c.br)
 		if err != nil {
 			// Drain kick (read deadline) or a dead peer: either way the
 			// already-received ops still execute and respond.
@@ -294,7 +370,12 @@ func (c *conn) serve() {
 		}
 		c.srv.requests.Inc()
 		c.srv.bytesIn.Add(uint64(frameHeader + frameFixed + len(f.payload)))
-		c.handle(f)
+		if !c.handle(f) {
+			// The handler is done with the frame; a pending single
+			// write instead retains it (Data aliases the payload) and
+			// flushBatches returns it after the batch executes.
+			bufpool.Put(f.payload)
+		}
 		if len(c.reads) >= c.srv.batchSize || len(c.writes) >= c.srv.batchSize {
 			c.flushBatches()
 		}
@@ -310,9 +391,12 @@ func (c *conn) writeLoop() {
 	bw := bufio.NewWriterSize(c.nc, readBufSize)
 	for b := range c.out {
 		if c.werr != nil {
+			bufpool.Put(b)
 			continue
 		}
-		if _, err := bw.Write(b); err != nil {
+		_, err := bw.Write(b)
+		bufpool.Put(b)
+		if err != nil {
 			c.werr = err
 			c.nc.Close()
 			continue
@@ -329,14 +413,28 @@ func (c *conn) writeLoop() {
 	}
 }
 
-// respond enqueues one response frame (blocking when the queue is full
-// — the backpressure point) and records the request's latency.
+// respond builds one response frame in a pooled buffer and enqueues it
+// (blocking when the queue is full — the backpressure point). The
+// payload is copied, so the caller keeps ownership of it; the frame
+// buffer's ownership passes to writeLoop, which returns it to the pool
+// after the socket write.
 func (c *conn) respond(op uint8, id uint64, status uint8, payload []byte, t0 time.Time) {
-	b := appendFrame(nil, op, id, []byte{status}, payload)
-	c.srv.bytesOut.Add(uint64(len(b)))
+	b := bufpool.Get(frameHeader + frameFixed + 1 + len(payload))
+	bePut32(b, uint32(frameFixed+1+len(payload)))
+	b[4] = op
+	bePut64(b[5:], id)
+	b[13] = status
+	copy(b[14:], payload)
 	if status == stDeadline || status == stRecoveryInProgress {
 		c.srv.deadlineAborts.Inc()
 	}
+	c.enqueue(b, t0)
+}
+
+// enqueue hands one fully built pooled response frame to writeLoop and
+// records the request's latency.
+func (c *conn) enqueue(b []byte, t0 time.Time) {
+	c.srv.bytesOut.Add(uint64(len(b)))
 	c.out <- b
 	c.srv.reqSeconds.Observe(time.Since(t0))
 }
@@ -349,31 +447,33 @@ func (c *conn) respondErr(op uint8, id uint64, err error, t0 time.Time) {
 // handle dispatches one request frame. Single READ/WRITE frames without
 // a deadline accumulate into the pending batch; everything else flushes
 // the pending batch first (to keep per-connection ordering) and
-// executes in place.
-func (c *conn) handle(f frame) {
+// executes in place. It reports whether the frame's payload is retained
+// beyond this call (a pending single write aliases it); if not, the
+// caller returns the payload to the pool.
+func (c *conn) handle(f frame) (retained bool) {
 	t0 := time.Now()
 	p := f.payload
 	switch f.op {
 	case opRead:
 		if len(p) != 8+8+4 {
 			c.respond(f.op, f.id, stBadRequest, []byte("bad READ frame"), t0)
-			return
+			return false
 		}
 		deadline := be64(p[0:])
 		addr := be64(p[8:])
 		n := int(be32(p[16:]))
 		if n <= 0 || n > maxReadLen {
 			c.respond(f.op, f.id, stBadRequest, []byte(fmt.Sprintf("read length %d", n)), t0)
-			return
+			return false
 		}
 		if deadline == 0 {
 			if len(c.writes) > 0 {
 				c.flushBatches()
 			}
-			c.reads = append(c.reads, pcache.ReadOp{Addr: addr, Dst: make([]byte, n)})
+			c.reads = append(c.reads, pcache.ReadOp{Addr: addr, Dst: c.carve(n)})
 			c.readIDs = append(c.readIDs, f.id)
 			c.readT0 = append(c.readT0, t0)
-			return
+			return false
 		}
 		c.flushBatches()
 		ctx, cancel := deadlineCtx(context.Background(), deadline)
@@ -381,14 +481,14 @@ func (c *conn) handle(f frame) {
 		cancel()
 		if err != nil {
 			c.respondErr(f.op, f.id, err, t0)
-			return
+			return false
 		}
 		c.respond(f.op, f.id, stOK, out, t0)
 
 	case opWrite:
 		if len(p) < 8+8 {
 			c.respond(f.op, f.id, stBadRequest, []byte("bad WRITE frame"), t0)
-			return
+			return false
 		}
 		deadline := be64(p[0:])
 		addr := be64(p[8:])
@@ -397,12 +497,13 @@ func (c *conn) handle(f frame) {
 			if len(c.reads) > 0 {
 				c.flushBatches()
 			}
-			// data aliases the frame's private payload buffer — safe to
-			// retain until the batch executes.
+			// data aliases the frame's pooled payload buffer — retained
+			// (and returned to the pool) by the batch flush.
 			c.writes = append(c.writes, pcache.WriteOp{Addr: addr, Data: data})
 			c.writeIDs = append(c.writeIDs, f.id)
 			c.writeT0 = append(c.writeT0, t0)
-			return
+			c.retained = append(c.retained, p)
+			return true
 		}
 		c.flushBatches()
 		ctx, cancel := deadlineCtx(context.Background(), deadline)
@@ -410,7 +511,7 @@ func (c *conn) handle(f frame) {
 		cancel()
 		if err != nil {
 			c.respondErr(f.op, f.id, err, t0)
-			return
+			return false
 		}
 		c.respond(f.op, f.id, stOK, nil, t0)
 
@@ -425,7 +526,7 @@ func (c *conn) handle(f frame) {
 	case opFlush:
 		if len(p) != 8 {
 			c.respond(f.op, f.id, stBadRequest, []byte("bad FLUSH frame"), t0)
-			return
+			return false
 		}
 		c.flushBatches()
 		ctx, cancel := deadlineCtx(context.Background(), be64(p))
@@ -433,7 +534,7 @@ func (c *conn) handle(f frame) {
 		cancel()
 		if err != nil {
 			c.respondErr(f.op, f.id, err, t0)
-			return
+			return false
 		}
 		c.respond(f.op, f.id, stOK, nil, t0)
 
@@ -446,11 +547,11 @@ func (c *conn) handle(f frame) {
 	case opEpoch:
 		if len(p) != 8 {
 			c.respond(f.op, f.id, stBadRequest, []byte("bad EPOCH frame"), t0)
-			return
+			return false
 		}
 		if c.srv.epochOf == nil {
 			c.respond(f.op, f.id, stUnsupported, []byte("no epoch oracle"), t0)
-			return
+			return false
 		}
 		// Epoch ordering matters to the oracle: pending writes must
 		// land before the epoch is sampled.
@@ -462,102 +563,163 @@ func (c *conn) handle(f frame) {
 	default:
 		c.respond(f.op, f.id, stBadRequest, []byte(fmt.Sprintf("unknown opcode %d", f.op)), t0)
 	}
+	return false
 }
 
 // handleBatchRead serves one BATCH_READ frame through the store's batch
-// path and answers per-op outcomes in a single response frame.
+// path and answers per-op outcomes in a single response frame. A
+// nonzero deadline field bounds the whole batch: it maps to a context
+// on ReadBatchCtx, ops the deadline kills answer stDeadline (or
+// stRecoveryInProgress) individually, and those aborts are counted in
+// net_deadline_aborts_total.
 func (c *conn) handleBatchRead(f frame, t0 time.Time) {
 	p := f.payload
 	if len(p) < 8+4 {
 		c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_READ frame"), t0)
 		return
 	}
-	// The leading deadline field is reserved on batch frames: a batch
-	// rides the amortised (unbounded) batch path, so its deadline is
-	// not mapped to a context the way single-op deadlines are.
+	deadline := be64(p[0:])
 	count := int(be32(p[8:]))
 	if count <= 0 || count > maxBatchOps || len(p) != 12+count*12 {
 		c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_READ geometry"), t0)
 		return
 	}
-	ops := make([]pcache.ReadOp, count)
+	ops := c.reads[:0]
 	total := 0
 	for i := 0; i < count; i++ {
 		addr := be64(p[12+i*12:])
 		n := int(be32(p[12+i*12+8:]))
 		if n <= 0 || n > maxReadLen || total+n > maxFrame/2 {
+			c.reads = trimOps(ops, c.srv.batchSize)
+			c.releaseArenas()
 			c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_READ op size"), t0)
 			return
 		}
 		total += n
-		ops[i] = pcache.ReadOp{Addr: addr, Dst: make([]byte, n)}
+		ops = append(ops, pcache.ReadOp{Addr: addr, Dst: c.carve(n)})
 	}
 	bt0 := time.Now()
-	c.srv.st.ReadBatch(ops)
+	if deadline > 0 {
+		ctx, cancel := deadlineCtx(context.Background(), deadline)
+		c.srv.st.ReadBatchCtx(ctx, ops)
+		cancel()
+	} else {
+		c.srv.st.ReadBatch(ops)
+	}
 	c.observeBatch(len(ops), bt0)
-	resp := make([]byte, 0, 4+count*5+total)
-	resp = be32Append(resp, uint32(count))
+	okTotal := 0
 	for i := range ops {
-		st := statusOf(ops[i].Err)
-		resp = append(resp, st)
-		if st == stOK {
-			resp = be32Append(resp, uint32(len(ops[i].Dst)))
-			resp = append(resp, ops[i].Dst...)
-		} else {
-			resp = be32Append(resp, 0)
+		if ops[i].Err == nil {
+			okTotal += len(ops[i].Dst)
 		}
 	}
-	c.respond(f.op, f.id, stOK, resp, t0)
+	b := bufpool.Get(frameHeader + frameFixed + 1 + 4 + count*5 + okTotal)[:frameHeader]
+	b = append(b, f.op)
+	b = be64Append(b, f.id)
+	b = append(b, stOK)
+	b = be32Append(b, uint32(count))
+	aborts := uint64(0)
+	for i := range ops {
+		st := statusOf(ops[i].Err)
+		if st == stDeadline || st == stRecoveryInProgress {
+			aborts++
+		}
+		b = append(b, st)
+		if st == stOK {
+			b = be32Append(b, uint32(len(ops[i].Dst)))
+			b = append(b, ops[i].Dst...)
+		} else {
+			b = be32Append(b, 0)
+		}
+	}
+	bePut32(b, uint32(len(b)-frameHeader))
+	if aborts > 0 {
+		c.srv.deadlineAborts.Add(aborts)
+	}
+	c.reads = trimOps(ops, c.srv.batchSize)
+	c.releaseArenas()
+	c.enqueue(b, t0)
 }
 
 // handleBatchWrite serves one BATCH_WRITE frame through the store's
-// batch path and answers per-op status codes.
+// batch path and answers per-op status codes. The deadline contract
+// matches handleBatchRead.
 func (c *conn) handleBatchWrite(f frame, t0 time.Time) {
 	p := f.payload
 	if len(p) < 8+4 {
 		c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_WRITE frame"), t0)
 		return
 	}
+	deadline := be64(p[0:])
 	count := int(be32(p[8:]))
 	if count <= 0 || count > maxBatchOps {
 		c.respond(f.op, f.id, stBadRequest, []byte("bad BATCH_WRITE geometry"), t0)
 		return
 	}
-	ops := make([]pcache.WriteOp, count)
+	ops := c.writes[:0]
 	off := 12
+	bad := func(msg string) {
+		c.writes = trimOps(ops, c.srv.batchSize)
+		c.respond(f.op, f.id, stBadRequest, []byte(msg), t0)
+	}
 	for i := 0; i < count; i++ {
 		if off+12 > len(p) {
-			c.respond(f.op, f.id, stBadRequest, []byte("truncated BATCH_WRITE"), t0)
+			bad("truncated BATCH_WRITE")
 			return
 		}
 		addr := be64(p[off:])
 		n := int(be32(p[off+8:]))
 		off += 12
 		if n < 0 || off+n > len(p) {
-			c.respond(f.op, f.id, stBadRequest, []byte("truncated BATCH_WRITE op"), t0)
+			bad("truncated BATCH_WRITE op")
 			return
 		}
-		ops[i] = pcache.WriteOp{Addr: addr, Data: p[off : off+n]}
+		ops = append(ops, pcache.WriteOp{Addr: addr, Data: p[off : off+n]})
 		off += n
 	}
 	if off != len(p) {
-		c.respond(f.op, f.id, stBadRequest, []byte("trailing BATCH_WRITE bytes"), t0)
+		bad("trailing BATCH_WRITE bytes")
 		return
 	}
 	bt0 := time.Now()
-	c.srv.st.WriteBatch(ops)
-	c.observeBatch(len(ops), bt0)
-	resp := make([]byte, 0, 4+count)
-	resp = be32Append(resp, uint32(count))
-	for i := range ops {
-		resp = append(resp, statusOf(ops[i].Err))
+	if deadline > 0 {
+		ctx, cancel := deadlineCtx(context.Background(), deadline)
+		c.srv.st.WriteBatchCtx(ctx, ops)
+		cancel()
+	} else {
+		c.srv.st.WriteBatch(ops)
 	}
-	c.respond(f.op, f.id, stOK, resp, t0)
+	c.observeBatch(len(ops), bt0)
+	b := bufpool.Get(frameHeader + frameFixed + 1 + 4 + count)
+	bePut32(b, uint32(frameFixed+1+4+count))
+	b[4] = f.op
+	bePut64(b[5:], f.id)
+	b[13] = stOK
+	bePut32(b[14:], uint32(count))
+	aborts := uint64(0)
+	for i := range ops {
+		st := statusOf(ops[i].Err)
+		if st == stDeadline || st == stRecoveryInProgress {
+			aborts++
+		}
+		b[18+i] = st
+	}
+	if aborts > 0 {
+		c.srv.deadlineAborts.Add(aborts)
+	}
+	c.writes = trimOps(ops, c.srv.batchSize)
+	c.enqueue(b, t0)
 }
 
 // flushBatches executes whichever pending batch has accumulated and
 // responds to every op in it. At most one kind is pending at a time.
+// After the flush the pooled buffers backing the batch go home: read
+// Dst arenas once the responses carry copies of the data, retained
+// write frames once WriteBatch has consumed them; the op scratch slices
+// trim back to batchSize so an oversized burst does not pin its
+// high-water memory.
 func (c *conn) flushBatches() {
+	max := c.srv.batchSize
 	if len(c.reads) > 0 {
 		t0 := time.Now()
 		c.srv.st.ReadBatch(c.reads)
@@ -570,7 +732,10 @@ func (c *conn) flushBatches() {
 				c.respond(opRead, c.readIDs[i], stOK, op.Dst, c.readT0[i])
 			}
 		}
-		c.reads, c.readIDs, c.readT0 = c.reads[:0], c.readIDs[:0], c.readT0[:0]
+		c.reads = trimOps(c.reads, max)
+		c.readIDs = trimOps(c.readIDs, max)
+		c.readT0 = trimOps(c.readT0, max)
+		c.releaseArenas()
 	}
 	if len(c.writes) > 0 {
 		t0 := time.Now()
@@ -584,7 +749,10 @@ func (c *conn) flushBatches() {
 				c.respond(opWrite, c.writeIDs[i], stOK, nil, c.writeT0[i])
 			}
 		}
-		c.writes, c.writeIDs, c.writeT0 = c.writes[:0], c.writeIDs[:0], c.writeT0[:0]
+		c.writes = trimOps(c.writes, max)
+		c.writeIDs = trimOps(c.writeIDs, max)
+		c.writeT0 = trimOps(c.writeT0, max)
+		c.releaseRetained()
 	}
 }
 

@@ -10,7 +10,11 @@ package pcache
 // the line, and (for writes) the vertical-parity delta updates of a
 // full line store — are paid once per distinct line instead.
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+	"sync"
+)
 
 // ReadOp is one read of a batch: Dst receives len(Dst) bytes at Addr
 // (the span must not cross a line boundary, as with ReadInto), and Err
@@ -30,29 +34,60 @@ type WriteOp struct {
 	Err  error
 }
 
-// batchOrder validates every op's span, stamps per-op errors through
-// setErr, and returns the surviving op indices sorted by (bank, line).
-// The sort is stable, so ops on the same line keep their batch order —
-// overlapping same-line writes apply exactly as serial issue would.
-func (c *Cache) batchOrder(n int, addrOf func(i int) uint64, sizeOf func(i int) int,
-	setErr func(i int, err error)) (idx []int, failed int) {
-	idx = make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if err := c.checkSpan(addrOf(i), sizeOf(i)); err != nil {
-			setErr(i, err)
+// idxPool recycles the per-batch index scratch so steady-state batch
+// calls allocate nothing per op. The slice travels inside a pooled
+// holder struct to avoid boxing its header on every Put.
+var idxPool = sync.Pool{New: func() any { return new(idxScratch) }}
+
+type idxScratch struct{ idx []int }
+
+// batchCmp orders two addresses by (bank, line) — the batch iteration
+// order: one lock acquisition per bank run, one tag probe per line
+// group.
+func (c *Cache) batchCmp(aa, ab uint64) int {
+	la, lb := c.lineAddr(aa), c.lineAddr(ab)
+	if r := cmp.Compare(c.setOf(la)/c.setsPerBank, c.setOf(lb)/c.setsPerBank); r != 0 {
+		return r
+	}
+	return cmp.Compare(la, lb)
+}
+
+// readBatchOrder validates every op's span, stamps per-op errors, and
+// returns the surviving op indices (appended to idx) sorted by (bank,
+// line). The sort is stable, so ops on the same line keep their batch
+// order — overlapping same-line writes apply exactly as serial issue
+// would.
+func (c *Cache) readBatchOrder(idx []int, ops []ReadOp) ([]int, int) {
+	failed := 0
+	for i := range ops {
+		if err := c.checkSpan(ops[i].Addr, len(ops[i].Dst)); err != nil {
+			ops[i].Err = err
 			failed++
 			continue
 		}
-		setErr(i, nil)
+		ops[i].Err = nil
 		idx = append(idx, i)
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		la, lb := c.lineAddr(addrOf(idx[a])), c.lineAddr(addrOf(idx[b]))
-		ba, bb := c.setOf(la)/c.setsPerBank, c.setOf(lb)/c.setsPerBank
-		if ba != bb {
-			return ba < bb
+	slices.SortStableFunc(idx, func(a, b int) int {
+		return c.batchCmp(ops[a].Addr, ops[b].Addr)
+	})
+	return idx, failed
+}
+
+// writeBatchOrder is readBatchOrder for write ops.
+func (c *Cache) writeBatchOrder(idx []int, ops []WriteOp) ([]int, int) {
+	failed := 0
+	for i := range ops {
+		if err := c.checkSpan(ops[i].Addr, len(ops[i].Data)); err != nil {
+			ops[i].Err = err
+			failed++
+			continue
 		}
-		return la < lb
+		ops[i].Err = nil
+		idx = append(idx, i)
+	}
+	slices.SortStableFunc(idx, func(a, b int) int {
+		return c.batchCmp(ops[a].Addr, ops[b].Addr)
 	})
 	return idx, failed
 }
@@ -70,10 +105,11 @@ func (c *Cache) batchOrder(n int, addrOf func(i int) uint64, sizeOf func(i int) 
 // use; ops in one batch must not be aliased by another concurrent
 // batch.
 func (c *Cache) ReadBatch(ops []ReadOp) (failed int) {
-	idx, failed := c.batchOrder(len(ops),
-		func(i int) uint64 { return ops[i].Addr },
-		func(i int) int { return len(ops[i].Dst) },
-		func(i int, err error) { ops[i].Err = err })
+	sc := idxPool.Get().(*idxScratch)
+	defer idxPool.Put(sc)
+	var idx []int
+	idx, failed = c.readBatchOrder(sc.idx[:0], ops)
+	sc.idx = idx[:0]
 	for start := 0; start < len(idx); {
 		line := c.lineAddr(ops[idx[start]].Addr)
 		b, _ := c.bankOf(c.setOf(line))
@@ -174,10 +210,11 @@ func (c *Cache) readLineGroupLocked(b *bank, line uint64, ops []ReadOp, group []
 // once. Per-op outcomes land in each op's Err field; the return value
 // counts failed ops. Safe for concurrent use.
 func (c *Cache) WriteBatch(ops []WriteOp) (failed int) {
-	idx, failed := c.batchOrder(len(ops),
-		func(i int) uint64 { return ops[i].Addr },
-		func(i int) int { return len(ops[i].Data) },
-		func(i int, err error) { ops[i].Err = err })
+	sc := idxPool.Get().(*idxScratch)
+	defer idxPool.Put(sc)
+	var idx []int
+	idx, failed = c.writeBatchOrder(sc.idx[:0], ops)
+	sc.idx = idx[:0]
 	for start := 0; start < len(idx); {
 		line := c.lineAddr(ops[idx[start]].Addr)
 		b, _ := c.bankOf(c.setOf(line))

@@ -7,6 +7,14 @@ package resilience
 // the ladder, exactly as a single access would be — each failed op
 // gets its own RecoveryStart/End bracket, DUE accounting, and ladder
 // latency observation.
+//
+// The Ctx variants bound only the expensive half of that split: the
+// amortised cache pass always runs to completion (it never blocks on
+// repair machinery), while each per-op ladder re-drive is bounded by
+// ctx exactly like a single ReadCtx. A batch that arrives with its
+// context already expired is not served at all — every op is stamped
+// with the context's error, so an expired deadline yields per-op
+// deadline outcomes, never silent success.
 
 import (
 	"context"
@@ -19,6 +27,24 @@ import (
 // Per-op outcomes land in each op's Err field; the return value counts
 // ops that still failed after recovery. Safe for concurrent use.
 func (e *Engine) ReadBatch(ops []pcache.ReadOp) (failed int) {
+	return e.ReadBatchCtx(context.Background(), ops)
+}
+
+// ReadBatchCtx is ReadBatch with the ladder re-drives bounded by ctx:
+// the amortised cache pass runs unbounded (it does not wait on
+// repairs), and each failed op's recovery is then limited the way a
+// single ReadCtx would be. An already-expired ctx stamps every op with
+// the context error and serves nothing.
+func (e *Engine) ReadBatchCtx(ctx context.Context, ops []pcache.ReadOp) (failed int) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range ops {
+			ops[i].Err = err
+		}
+		return len(ops)
+	}
 	if e.cache.ReadBatch(ops) == 0 {
 		return 0
 	}
@@ -27,7 +53,7 @@ func (e *Engine) ReadBatch(ops []pcache.ReadOp) (failed int) {
 		if op.Err == nil {
 			continue
 		}
-		op.Err = e.ladderCtx(context.Background(), op.Err,
+		op.Err = e.ladderCtx(ctx, op.Err,
 			func() error { return e.cache.ReadInto(op.Addr, op.Dst) })
 		if op.Err != nil {
 			failed++
@@ -41,6 +67,21 @@ func (e *Engine) ReadBatch(ops []pcache.ReadOp) (failed int) {
 // Per-op outcomes land in each op's Err field; the return value counts
 // ops that still failed after recovery. Safe for concurrent use.
 func (e *Engine) WriteBatch(ops []pcache.WriteOp) (failed int) {
+	return e.WriteBatchCtx(context.Background(), ops)
+}
+
+// WriteBatchCtx is WriteBatch with the ladder re-drives bounded by
+// ctx; see ReadBatchCtx for the exact split.
+func (e *Engine) WriteBatchCtx(ctx context.Context, ops []pcache.WriteOp) (failed int) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range ops {
+			ops[i].Err = err
+		}
+		return len(ops)
+	}
 	if e.cache.WriteBatch(ops) == 0 {
 		return 0
 	}
@@ -49,7 +90,7 @@ func (e *Engine) WriteBatch(ops []pcache.WriteOp) (failed int) {
 		if op.Err == nil {
 			continue
 		}
-		op.Err = e.ladderCtx(context.Background(), op.Err,
+		op.Err = e.ladderCtx(ctx, op.Err,
 			func() error { return e.cache.Write(op.Addr, op.Data) })
 		if op.Err != nil {
 			failed++

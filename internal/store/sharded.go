@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"twodcache/internal/obs"
@@ -266,28 +267,68 @@ func (s *Sharded) WriteCtx(ctx context.Context, addr uint64, data []byte) error 
 	return s.globalErr(sh, s.shards[sh].engine.WriteCtx(ctx, s.local(addr), data))
 }
 
+// batchScratch recycles the router's per-batch working set — the
+// per-shard index buckets and the local (address-contracted) op slice —
+// so steady-state batch routing allocates nothing per op.
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+type batchScratch struct {
+	groups [][]int
+	rops   []pcache.ReadOp
+	wops   []pcache.WriteOp
+}
+
+// buckets returns n per-shard index buckets, reset and ready to append.
+func (sc *batchScratch) buckets(n int) [][]int {
+	for len(sc.groups) < n {
+		sc.groups = append(sc.groups, nil)
+	}
+	g := sc.groups[:n]
+	for i := range g {
+		g[i] = g[i][:0]
+	}
+	return g
+}
+
 // ReadBatch groups ops by owning shard and hands each shard its group
 // in one batched call, so the per-bank amortisation composes with
 // sharding. Per-op outcomes land in each op's Err field; the return
 // value counts ops that failed even after recovery.
 func (s *Sharded) ReadBatch(ops []pcache.ReadOp) (failed int) {
+	return s.ReadBatchCtx(context.Background(), ops)
+}
+
+// ReadBatchCtx is ReadBatch with each shard's recovery work bounded by
+// ctx. The context is threaded to every shard independently: a
+// deadline abort inside one shard's ladder does not strand the other
+// shards' amortised passes — every shard still runs (or, once ctx has
+// expired, stamps its ops with the context error), so every op ends
+// with a definite outcome.
+func (s *Sharded) ReadBatchCtx(ctx context.Context, ops []pcache.ReadOp) (failed int) {
 	if len(s.shards) == 1 {
-		failed = s.shards[0].engine.ReadBatch(ops)
+		failed = s.shards[0].engine.ReadBatchCtx(ctx, ops)
 		for i := range ops {
 			ops[i].Err = s.globalErr(0, ops[i].Err)
 		}
 		return failed
 	}
-	for _, idxs := range s.groupByShard(len(ops), func(i int) uint64 { return ops[i].Addr }) {
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	groups := sc.buckets(len(s.shards))
+	for i := range ops {
+		sh := s.ShardOf(ops[i].Addr)
+		groups[sh] = append(groups[sh], i)
+	}
+	for sh, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
 		}
-		sh := s.ShardOf(ops[idxs[0]].Addr)
-		local := make([]pcache.ReadOp, len(idxs))
-		for j, i := range idxs {
-			local[j] = pcache.ReadOp{Addr: s.local(ops[i].Addr), Dst: ops[i].Dst}
+		local := sc.rops[:0]
+		for _, i := range idxs {
+			local = append(local, pcache.ReadOp{Addr: s.local(ops[i].Addr), Dst: ops[i].Dst})
 		}
-		failed += s.shards[sh].engine.ReadBatch(local)
+		sc.rops = local[:0]
+		failed += s.shards[sh].engine.ReadBatchCtx(ctx, local)
 		for j, i := range idxs {
 			ops[i].Err = s.globalErr(sh, local[j].Err)
 		}
@@ -299,39 +340,41 @@ func (s *Sharded) ReadBatch(ops []pcache.ReadOp) (failed int) {
 // in one batched call. Within a shard, ops keep their relative order,
 // so same-address writes land last-wins exactly as issued.
 func (s *Sharded) WriteBatch(ops []pcache.WriteOp) (failed int) {
+	return s.WriteBatchCtx(context.Background(), ops)
+}
+
+// WriteBatchCtx is WriteBatch with each shard's recovery work bounded
+// by ctx; the per-shard threading contract matches ReadBatchCtx.
+func (s *Sharded) WriteBatchCtx(ctx context.Context, ops []pcache.WriteOp) (failed int) {
 	if len(s.shards) == 1 {
-		failed = s.shards[0].engine.WriteBatch(ops)
+		failed = s.shards[0].engine.WriteBatchCtx(ctx, ops)
 		for i := range ops {
 			ops[i].Err = s.globalErr(0, ops[i].Err)
 		}
 		return failed
 	}
-	for _, idxs := range s.groupByShard(len(ops), func(i int) uint64 { return ops[i].Addr }) {
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	groups := sc.buckets(len(s.shards))
+	for i := range ops {
+		sh := s.ShardOf(ops[i].Addr)
+		groups[sh] = append(groups[sh], i)
+	}
+	for sh, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
 		}
-		sh := s.ShardOf(ops[idxs[0]].Addr)
-		local := make([]pcache.WriteOp, len(idxs))
-		for j, i := range idxs {
-			local[j] = pcache.WriteOp{Addr: s.local(ops[i].Addr), Data: ops[i].Data}
+		local := sc.wops[:0]
+		for _, i := range idxs {
+			local = append(local, pcache.WriteOp{Addr: s.local(ops[i].Addr), Data: ops[i].Data})
 		}
-		failed += s.shards[sh].engine.WriteBatch(local)
+		sc.wops = local[:0]
+		failed += s.shards[sh].engine.WriteBatchCtx(ctx, local)
 		for j, i := range idxs {
 			ops[i].Err = s.globalErr(sh, local[j].Err)
 		}
 	}
 	return failed
-}
-
-// groupByShard buckets op indices by owning shard, preserving issue
-// order within each bucket.
-func (s *Sharded) groupByShard(n int, addrOf func(int) uint64) [][]int {
-	groups := make([][]int, len(s.shards))
-	for i := 0; i < n; i++ {
-		sh := s.ShardOf(addrOf(i))
-		groups[sh] = append(groups[sh], i)
-	}
-	return groups
 }
 
 // Flush writes back every shard's dirty lines. All shards are flushed

@@ -40,8 +40,15 @@ type Store interface {
 	Write(addr uint64, data []byte) error
 	WriteCtx(ctx context.Context, addr uint64, data []byte) error
 
+	// Batch calls: the plain forms run unbounded; the Ctx forms bound
+	// per-op recovery work by ctx (the amortised fault-free pass always
+	// completes), and an already-expired ctx stamps every op with the
+	// context error instead of serving it — an expired deadline yields
+	// per-op deadline outcomes, never silent success.
 	ReadBatch(ops []pcache.ReadOp) (failed int)
+	ReadBatchCtx(ctx context.Context, ops []pcache.ReadOp) (failed int)
 	WriteBatch(ops []pcache.WriteOp) (failed int)
+	WriteBatchCtx(ctx context.Context, ops []pcache.WriteOp) (failed int)
 
 	Flush() error
 	FlushCtx(ctx context.Context) error

@@ -55,6 +55,6 @@ if [ "${1:-}" = "-full" ]; then
     sh scripts/test_soak_exit.sh
 else
     echo "== go test -race (concurrency-hardened packages + kernel layer)"
-    go test -race -timeout 120s ./internal/bitvec/ ./internal/ecc/ ./internal/twod/ ./internal/pcache/ ./internal/resilience/ ./internal/obs/ ./internal/store/ ./internal/netsrv/ ./internal/fault/ ./internal/cluster/
+    go test -race -timeout 120s ./internal/bitvec/ ./internal/ecc/ ./internal/twod/ ./internal/pcache/ ./internal/resilience/ ./internal/obs/ ./internal/store/ ./internal/netsrv/ ./internal/fault/ ./internal/cluster/ ./internal/bufpool/
 fi
 echo "check: OK"

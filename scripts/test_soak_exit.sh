@@ -196,4 +196,27 @@ wait "$spid1" "$spid2" "$spid3" 2>/dev/null
 grep -q "FAIL — silent corruption detected" "$tmp/skew.out" \
     || { cat "$tmp/skew.out" >&2; fail "skew selftest exit 1 was not the corruption banner"; }
 
+# 15. Batch deadlines are a per-op contract, not a silent success: a
+#     single cachenetd under batch load with a tight-but-nonzero
+#     deadline must finish PASS (exit 0) while REPORTING deadline
+#     aborts — every timed-out op surfaces as a per-op deadline status
+#     the client counts, never as fabricated data. A zero reported
+#     count under a 5ms budget with chaos delays would mean deadlines
+#     are being swallowed somewhere on the batch plane.
+"$netd" -addr 127.0.0.1:0 -chaos-seed 55 -chaos-delay-prob 0.3 \
+    >"$tmp/bd.out" 2>&1 &
+bdpid=$!
+c1=$(netd_addr "$tmp/bd.out") || fail "batch-deadline replica never printed its address"
+"$load" -endpoints "$c1" -duration 3s -seed 7 -lines 256 -batch 16 -deadline 5ms \
+    >"$tmp/bdload.out" 2>&1
+st=$?
+kill -INT "$bdpid" 2>/dev/null
+wait "$bdpid" 2>/dev/null
+[ "$st" -eq 0 ] || { cat "$tmp/bdload.out" >&2; fail "batch-deadline run exited $st (want 0)"; }
+grep -q "cacheload: PASS" "$tmp/bdload.out" \
+    || { cat "$tmp/bdload.out" >&2; fail "batch-deadline run printed no PASS banner"; }
+aborts=$(sed -n 's/.*accounting: *\([0-9][0-9]*\) reported DUE\/aborts.*/\1/p' "$tmp/bdload.out")
+[ -n "$aborts" ] && [ "$aborts" -gt 0 ] \
+    || { cat "$tmp/bdload.out" >&2; fail "batch-deadline run reported no deadline aborts (got '${aborts:-}')"; }
+
 echo "test_soak_exit: OK"
